@@ -1,0 +1,44 @@
+// Command wikiserve exposes the engine as an HTTP JSON service — the
+// reproduction of the paper's online WikiSearch demo. See internal/server
+// for the endpoints.
+//
+// Usage:
+//
+//	wikiserve -kb wiki2017-sim.wskb -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"wikisearch"
+	"wikisearch/internal/server"
+)
+
+func main() {
+	var (
+		kbPath = flag.String("kb", "", "knowledge-base dump produced by wikigen (required)")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *kbPath == "" {
+		fmt.Fprintln(os.Stderr, "wikiserve: -kb is required")
+		os.Exit(2)
+	}
+	eng, err := wikisearch.LoadEngine(*kbPath, wikisearch.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s",
+		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,140 @@
+package wikisearch_test
+
+// End-to-end tests of the command-line tools: build the real binaries and
+// drive the wikigen → wikisearch / wikiserve pipeline on a tiny dataset.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the cmds once into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping cmd e2e in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"wikigen", "wikisearch", "benchrunner"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func TestCmdPipeline(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	dump := filepath.Join(work, "tiny.wskb")
+
+	// wikigen: generate and save.
+	out, err := exec.Command(filepath.Join(bin, "wikigen"),
+		"-preset", "tiny-sim", "-out", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikigen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "generated tiny-sim") || !strings.Contains(string(out), "wrote") {
+		t.Fatalf("wikigen output: %s", out)
+	}
+	if st, err := os.Stat(dump); err != nil || st.Size() == 0 {
+		t.Fatalf("dump missing: %v", err)
+	}
+
+	// wikisearch: one-shot query against the dump.
+	out, err = exec.Command(filepath.Join(bin, "wikisearch"),
+		"-kb", dump, "-q", "statistical relational learning", "-k", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikisearch: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "loaded tiny-sim") || !strings.Contains(s, "terms=") {
+		t.Fatalf("wikisearch output: %s", s)
+	}
+	if !strings.Contains(s, "1.") {
+		t.Fatalf("no ranked answers in output: %s", s)
+	}
+
+	// wikisearch with the BANKS baseline.
+	out, err = exec.Command(filepath.Join(bin, "wikisearch"),
+		"-kb", dump, "-q", "statistical relational learning", "-variant", "banks2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikisearch banks2: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "trees in") {
+		t.Fatalf("banks output: %s", out)
+	}
+
+	// Missing -kb is a usage error.
+	if _, err := exec.Command(filepath.Join(bin, "wikisearch"), "-q", "x").CombinedOutput(); err == nil {
+		t.Fatal("wikisearch without -kb succeeded")
+	}
+}
+
+func TestCmdWikigenImport(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// Import an N-Triples file into a dump, then query it.
+	nt := filepath.Join(work, "kb.nt")
+	const triples = `<http://kb/Q1> <http://www.w3.org/2000/01/rdf-schema#label> "statistical relational learning" .
+<http://kb/Q2> <http://www.w3.org/2000/01/rdf-schema#label> "inference engines" .
+<http://kb/Q1> <http://kb/p/relatedTo> <http://kb/Q2> .
+`
+	if err := os.WriteFile(nt, []byte(triples), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dump := filepath.Join(work, "kb.wskb")
+	out, err := exec.Command(filepath.Join(bin, "wikigen"),
+		"-import-nt", nt, "-out", dump, "-name", "nt-import").CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikigen -import-nt: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "imported") {
+		t.Fatalf("output: %s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "wikisearch"),
+		"-kb", dump, "-q", "statistical inference", "-k", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikisearch on imported kb: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "loaded nt-import") {
+		t.Fatalf("output: %s", out)
+	}
+
+	// Import a Wikidata JSON dump.
+	wd := filepath.Join(work, "dump.json")
+	const entities = `{"type":"item","id":"Q1","labels":{"en":{"value":"parallel keyword search"}},"claims":{}}
+{"type":"item","id":"Q2","labels":{"en":{"value":"knowledge graphs"}},"claims":{"P1":[{"mainsnak":{"snaktype":"value","datavalue":{"type":"wikibase-entityid","value":{"id":"Q1"}}}}]}}
+`
+	if err := os.WriteFile(wd, []byte(entities), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dump2 := filepath.Join(work, "wd.wskb")
+	out, err = exec.Command(filepath.Join(bin, "wikigen"),
+		"-import", wd, "-out", dump2).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wikigen -import: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 entities") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestCmdBenchrunnerFig3(t *testing.T) {
+	bin := buildTools(t)
+	out, err := exec.Command(filepath.Join(bin, "benchrunner"),
+		"-exp", "fig3", "-dataset", "tiny-sim", "-queries", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchrunner: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "== fig3") || !strings.Contains(s, "alpha-0.05") {
+		t.Fatalf("fig3 output: %s", s)
+	}
+}

@@ -1,0 +1,89 @@
+package wikisearch
+
+import (
+	"fmt"
+
+	"wikisearch/internal/gen"
+)
+
+// DatasetConfig selects or customizes a synthetic knowledge-base
+// generation (the stand-ins for the paper's Wikidata dumps; see DESIGN.md).
+type DatasetConfig struct {
+	// Preset selects a built-in configuration: "wiki2017-sim",
+	// "wiki2018-sim" or "tiny-sim". Empty means fully custom.
+	Preset string
+	// Name overrides the dataset name.
+	Name string
+	// Nodes / AvgDegree / VocabSize override the preset when > 0.
+	Nodes     int
+	AvgDegree float64
+	VocabSize int
+	// Seed overrides the preset seed when != 0.
+	Seed int64
+	// PlantEffectiveness adds the Q1–Q11 ground-truth plantings.
+	PlantEffectiveness bool
+}
+
+// PlantedQuery is a generated effectiveness query with its ground truth:
+// an answer is relevant iff it contains one of Cores.
+type PlantedQuery struct {
+	ID       string
+	Keywords []string
+	Cores    []NodeID
+	Decoys   []NodeID
+}
+
+// Dataset is a generated knowledge base plus its effectiveness ground
+// truth.
+type Dataset struct {
+	Name    string
+	Graph   *Graph
+	Planted []PlantedQuery
+}
+
+// GenerateDataset builds a synthetic Wikidata-like knowledge base.
+// Generation is deterministic in the seed.
+func GenerateDataset(c DatasetConfig) (*Dataset, error) {
+	var cfg gen.Config
+	switch c.Preset {
+	case "wiki2017-sim":
+		cfg = gen.Wiki2017Sim()
+	case "wiki2018-sim":
+		cfg = gen.Wiki2018Sim()
+	case "tiny-sim":
+		cfg = gen.TinySim()
+	case "":
+		cfg = gen.Config{PlantEffectiveness: c.PlantEffectiveness}
+	default:
+		return nil, fmt.Errorf("wikisearch: unknown preset %q", c.Preset)
+	}
+	if c.Name != "" {
+		cfg.Name = c.Name
+	}
+	if c.Nodes > 0 {
+		cfg.Nodes = c.Nodes
+	}
+	if c.AvgDegree > 0 {
+		cfg.AvgDegree = c.AvgDegree
+	}
+	if c.VocabSize > 0 {
+		cfg.VocabSize = c.VocabSize
+	}
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	if c.PlantEffectiveness {
+		cfg.PlantEffectiveness = true
+	}
+	kb := gen.Generate(cfg)
+	ds := &Dataset{Name: kb.Name, Graph: kb.Graph}
+	for _, p := range kb.Planted {
+		ds.Planted = append(ds.Planted, PlantedQuery{
+			ID:       p.ID,
+			Keywords: p.Keywords,
+			Cores:    p.Cores,
+			Decoys:   p.Decoys,
+		})
+	}
+	return ds, nil
+}

@@ -1,0 +1,49 @@
+package wikisearch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders an answer graph in Graphviz DOT format: the Central
+// Node is drawn as a double circle, keyword nodes are filled and labeled
+// with the keywords they contain, and hitting-path edges carry their
+// relationship names. Pipe the output through `dot -Tsvg` to visualize the
+// paper's Fig. 1-style answers.
+func (a *Answer) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph answer {\n")
+	fmt.Fprintf(&b, "  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  label=%q;\n", fmt.Sprintf("central: %s (score %.4f, depth %d)", a.CentralLabel, a.Score, a.Depth))
+	fmt.Fprintf(&b, "  node [fontname=\"Helvetica\"];\n")
+	for _, n := range a.Nodes {
+		attrs := []string{fmt.Sprintf("label=%q", nodeCaption(n))}
+		if n.IsCentral {
+			attrs = append(attrs, "shape=doublecircle", "style=bold")
+		} else if len(n.Keywords) > 0 {
+			attrs = append(attrs, "shape=box", "style=filled", "fillcolor=lightyellow")
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, e := range a.Edges {
+		// Draw the underlying directed edge in its stored orientation.
+		from, to := e.From, e.To
+		if !e.Forward {
+			from, to = to, from
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", from, to, e.Rel)
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeCaption(n AnswerNode) string {
+	if len(n.Keywords) == 0 {
+		return n.Label
+	}
+	return fmt.Sprintf("%s\n{%s}", n.Label, strings.Join(n.Keywords, ", "))
+}

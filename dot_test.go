@@ -1,0 +1,37 @@
+package wikisearch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Answers[0].WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.HasPrefix(dot, "digraph answer {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	if !strings.Contains(dot, "doublecircle") {
+		t.Fatal("central node not marked")
+	}
+	if !strings.Contains(dot, "lightyellow") {
+		t.Fatal("keyword nodes not marked")
+	}
+	// Every node and edge rendered.
+	a := &res.Answers[0]
+	if got := strings.Count(dot, "];"); got < len(a.Nodes)+len(a.Edges) {
+		t.Fatalf("rendered %d statements for %d nodes + %d edges", got, len(a.Nodes), len(a.Edges))
+	}
+	// Relationship labels present.
+	if !strings.Contains(dot, "instance of") {
+		t.Fatalf("edge labels missing:\n%s", dot)
+	}
+}

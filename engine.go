@@ -1,0 +1,223 @@
+package wikisearch
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+	"wikisearch/internal/storage"
+	"wikisearch/internal/text"
+	"wikisearch/internal/weight"
+)
+
+// Graph is the knowledge graph the engine searches: a bi-directed,
+// node- and edge-labeled graph in CSR form. Build one with NewBuilder or
+// generate one with GenerateDataset.
+type Graph = graph.Graph
+
+// Builder incrementally assembles a Graph.
+type Builder = graph.Builder
+
+// NodeID identifies a graph node.
+type NodeID = graph.NodeID
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// EngineOptions configures engine preparation.
+type EngineOptions struct {
+	// Threads bounds preparation parallelism (weight computation). <= 0
+	// selects GOMAXPROCS.
+	Threads int
+	// DistanceSamplePairs is the number of node pairs sampled to estimate
+	// the average shortest distance A (the paper samples 10,000; default
+	// here 2,000). Ignored when AvgDistance is set.
+	DistanceSamplePairs int
+	// AvgDistance overrides sampling with a known A (> 0).
+	AvgDistance float64
+	// Seed drives distance sampling; 0 means 1.
+	Seed int64
+}
+
+func (o EngineOptions) defaults() EngineOptions {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.DistanceSamplePairs <= 0 {
+		o.DistanceSamplePairs = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Engine is a prepared search engine over one knowledge graph: inverted
+// keyword index, degree-of-summary weights, and the sampled average
+// distance that anchors the activation-level mapping. An Engine is safe
+// for concurrent Search calls.
+type Engine struct {
+	name    string
+	g       *Graph
+	ix      *text.Index
+	weights []float64
+	avgDist float64
+	stddev  float64
+
+	mu         sync.Mutex
+	levelCache map[float64][]uint8 // α → per-node activation levels
+	zeroLv     []uint8             // all-zero levels for the activation ablation
+}
+
+// NewEngine prepares an engine over g: builds the inverted index, computes
+// normalized Eq. 2 weights, and samples the average shortest distance.
+func NewEngine(g *Graph, o EngineOptions) (*Engine, error) {
+	o = o.defaults()
+	if g == nil {
+		return nil, fmt.Errorf("wikisearch: nil graph")
+	}
+	pool := parallel.NewPool(o.Threads)
+	w := weight.Compute(g, pool)
+	return newEngineFrom("", g, w, o)
+}
+
+// LoadEngine reads a dump produced by Engine.Save (or cmd/wikigen) and
+// prepares an engine over it. Version-2 dumps carry the inverted index and
+// the sampled distance statistics, so loading skips both recomputations;
+// version-1 dumps rebuild the index and resample (A may still be
+// overridden through o.AvgDistance).
+func LoadEngine(path string, o EngineOptions) (*Engine, error) {
+	d, err := storage.LoadDumpFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o = o.defaults()
+	e := &Engine{
+		name:       d.Name,
+		g:          d.Graph,
+		ix:         d.Index,
+		weights:    d.Weights,
+		avgDist:    d.AvgDist,
+		stddev:     d.Deviation,
+		levelCache: map[float64][]uint8{},
+	}
+	if e.ix == nil {
+		e.ix = text.BuildIndex(e.g)
+	}
+	if o.AvgDistance > 0 {
+		e.avgDist, e.stddev = o.AvgDistance, 0
+	}
+	if e.avgDist <= 0 {
+		s := graph.SampleAverageDistance(e.g, o.DistanceSamplePairs, rand.New(rand.NewSource(o.Seed)))
+		e.avgDist, e.stddev = s.Mean, s.Deviation
+		if e.avgDist <= 0 {
+			e.avgDist = 1
+		}
+	}
+	return e, nil
+}
+
+func newEngineFrom(name string, g *Graph, w []float64, o EngineOptions) (*Engine, error) {
+	e := &Engine{
+		name:       name,
+		g:          g,
+		ix:         text.BuildIndex(g),
+		weights:    w,
+		levelCache: map[float64][]uint8{},
+	}
+	if o.AvgDistance > 0 {
+		e.avgDist = o.AvgDistance
+	} else {
+		s := graph.SampleAverageDistance(g, o.DistanceSamplePairs, rand.New(rand.NewSource(o.Seed)))
+		e.avgDist, e.stddev = s.Mean, s.Deviation
+		if e.avgDist <= 0 {
+			e.avgDist = 1 // degenerate graphs: keep the mapping sane
+		}
+	}
+	return e, nil
+}
+
+// Save writes a version-2 dump: graph, weights, distance statistics and
+// the inverted index, so LoadEngine starts without recomputation.
+func (e *Engine) Save(path string) error {
+	return storage.SaveDumpFile(path, &storage.Dump{
+		Name:      e.name,
+		Graph:     e.g,
+		Weights:   e.weights,
+		AvgDist:   e.avgDist,
+		Deviation: e.stddev,
+		Index:     e.ix,
+	})
+}
+
+// SetName sets the dataset name recorded in dumps.
+func (e *Engine) SetName(name string) { e.name = name }
+
+// Name returns the dataset name ("wiki2018-sim", …).
+func (e *Engine) Name() string { return e.name }
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// AvgDistance returns the sampled (or configured) average shortest
+// distance A.
+func (e *Engine) AvgDistance() float64 { return e.avgDist }
+
+// DistanceDeviation returns the sampling standard deviation (0 when A was
+// configured explicitly).
+func (e *Engine) DistanceDeviation() float64 { return e.stddev }
+
+// VocabSize returns the keyword vocabulary size after stopword filtering
+// and stemming.
+func (e *Engine) VocabSize() int { return e.ix.NumTerms() }
+
+// KeywordFrequency returns the number of nodes containing the raw keyword
+// (Table V's kwf).
+func (e *Engine) KeywordFrequency(raw string) int { return e.ix.Frequency(raw) }
+
+// Weight returns node v's normalized degree-of-summary weight.
+func (e *Engine) Weight(v NodeID) float64 { return e.weights[v] }
+
+// Weights returns the full weight vector; the slice aliases engine state
+// and must not be modified.
+func (e *Engine) Weights() []float64 { return e.weights }
+
+// activationLevels returns (computing and caching on first use) the
+// per-node minimum activation levels for α.
+func (e *Engine) activationLevels(alpha float64, threads int) []uint8 {
+	e.mu.Lock()
+	lv, ok := e.levelCache[alpha]
+	e.mu.Unlock()
+	if ok {
+		return lv
+	}
+	lv = weight.Levels(e.weights, e.avgDist, alpha, parallel.NewPool(threads))
+	e.mu.Lock()
+	if len(e.levelCache) > 16 { // bound the cache; α values are few in practice
+		e.levelCache = map[float64][]uint8{}
+	}
+	e.levelCache[alpha] = lv
+	e.mu.Unlock()
+	return lv
+}
+
+// zeroLevels returns (caching) an all-zero activation vector for the
+// DisableActivation ablation.
+func (e *Engine) zeroLevels() []uint8 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.zeroLv == nil {
+		e.zeroLv = make([]uint8, e.g.NumNodes())
+	}
+	return e.zeroLv
+}
+
+// ActivationDistribution buckets all nodes by minimum activation level for
+// α — the data behind Fig. 3. The final bucket aggregates levels ≥
+// buckets−1.
+func (e *Engine) ActivationDistribution(alpha float64, buckets int) []int {
+	return weight.Distribution(e.activationLevels(alpha, 0), buckets)
+}

@@ -1,0 +1,405 @@
+package wikisearch
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// paperGraph builds the Fig. 1 scenario: query languages around a "Query
+// language" hub, keywords XML / RDF / SQL.
+func paperGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	fql := b.AddNode("Facebook Query Language", "")
+	sql := b.AddNode("SQL", "query language for relational databases")
+	hub := b.AddNode("Query language", "")
+	sparql := b.AddNode("SPARQL query language for RDF", "")
+	s11 := b.AddNode("SPARQL 1.1", "")
+	rdfql := b.AddNode("RDF query language", "")
+	xquery := b.AddNode("XQuery", "XML query language")
+	xpath3 := b.AddNode("XPath 3", "")
+	xpath := b.AddNode("XPath", "XML path language")
+	xpath2 := b.AddNode("XPath 2", "")
+	b.AddEdgeNamed(fql, hub, "instance of")
+	b.AddEdgeNamed(sql, hub, "instance of")
+	b.AddEdgeNamed(sparql, hub, "instance of")
+	b.AddEdgeNamed(s11, sparql, "version of")
+	b.AddEdgeNamed(rdfql, sparql, "related to")
+	b.AddEdgeNamed(rdfql, hub, "instance of")
+	b.AddEdgeNamed(xquery, hub, "instance of")
+	b.AddEdgeNamed(xpath3, xquery, "related to")
+	b.AddEdgeNamed(xpath, xquery, "related to")
+	b.AddEdgeNamed(xpath, hub, "instance of")
+	b.AddEdgeNamed(xpath2, xpath, "version of")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	eng, err := NewEngine(paperGraph(t), EngineOptions{Threads: 2, DistanceSamplePairs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[Variant]string{
+		CPUPar:      "CPU-Par",
+		Sequential:  "Sequential",
+		CPUParD:     "CPU-Par-d",
+		GPUPar:      "GPU-Par",
+		Variant(42): "Unknown",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestAnswerNodeIDsAndDeviation(t *testing.T) {
+	eng := newTestEngine(t)
+	if eng.DistanceDeviation() < 0 {
+		t.Fatal("negative deviation")
+	}
+	res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.Answers[0].NodeIDs()
+	if len(ids) != len(res.Answers[0].Nodes) {
+		t.Fatal("NodeIDs length mismatch")
+	}
+	for i, n := range res.Answers[0].Nodes {
+		if ids[i] != n.ID {
+			t.Fatal("NodeIDs order mismatch")
+		}
+	}
+}
+
+func TestLoadEngineErrors(t *testing.T) {
+	if _, err := LoadEngine(filepath.Join(t.TempDir(), "missing.wskb"), EngineOptions{}); err == nil {
+		t.Fatal("missing dump accepted")
+	}
+	// NewEngine rejects a nil graph.
+	if _, err := NewEngine(nil, EngineOptions{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestEngineBasics(t *testing.T) {
+	eng := newTestEngine(t)
+	if eng.Graph().NumNodes() != 10 {
+		t.Fatalf("nodes = %d", eng.Graph().NumNodes())
+	}
+	if eng.AvgDistance() <= 0 {
+		t.Fatal("AvgDistance not sampled")
+	}
+	if eng.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	if eng.KeywordFrequency("sparql") != 2 {
+		t.Fatalf("kwf(sparql) = %d, want 2", eng.KeywordFrequency("sparql"))
+	}
+	if w := eng.Weight(2); w <= 0 { // the hub has the most same-label in-edges
+		t.Fatalf("hub weight = %v, want > 0", w)
+	}
+	if len(eng.Weights()) != 10 {
+		t.Fatal("Weights length")
+	}
+}
+
+func TestSearchFig1Scenario(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.Search(Query{Text: "XML RDF SQL", TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Terms) != 3 {
+		t.Fatalf("terms = %v", res.Terms)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	a := res.Answers[0]
+	if a.CentralLabel == "" || a.Score < 0 || len(a.Nodes) == 0 {
+		t.Fatalf("answer malformed: %+v", a)
+	}
+	// The best answer must cover all three keywords.
+	seen := map[string]bool{}
+	for _, n := range a.Nodes {
+		for _, kw := range n.Keywords {
+			seen[kw] = true
+		}
+	}
+	for _, term := range res.Terms {
+		if !seen[term] {
+			t.Fatalf("keyword %q not covered by best answer", term)
+		}
+	}
+	// Graph-shaped answers: the RDF keyword may be contributed by more than
+	// one node (multi-path, §I's Fig. 1 motivation).
+	if res.Total <= 0 || len(res.Phases) != 5 {
+		t.Fatalf("profile missing: total=%v phases=%v", res.Total, res.Phases)
+	}
+	if a.Nodes[0].IsCentral != true {
+		t.Fatal("first node must be the central node")
+	}
+}
+
+func TestSearchVariantsAgree(t *testing.T) {
+	eng := newTestEngine(t)
+	base, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, Variant: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{CPUPar, CPUParD, GPUPar} {
+		res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, Variant: v})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(res.Answers) != len(base.Answers) {
+			t.Fatalf("%v: %d answers vs %d", v, len(res.Answers), len(base.Answers))
+		}
+		for i := range res.Answers {
+			if res.Answers[i].Central != base.Answers[i].Central ||
+				res.Answers[i].Score != base.Answers[i].Score {
+				t.Fatalf("%v: answer %d differs", v, i)
+			}
+		}
+		if v == GPUPar && res.TransferSeconds <= 0 {
+			t.Fatal("GPU variant must report transfer time")
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	eng := newTestEngine(t)
+	if _, err := eng.Search(Query{Text: ""}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := eng.Search(Query{Text: "the of and"}); err == nil {
+		t.Fatal("stopword-only query accepted")
+	}
+	if _, err := eng.Search(Query{Text: "zzzzunknownword"}); err == nil {
+		t.Fatal("unmatched keyword accepted")
+	}
+	if _, err := eng.Search(Query{Text: "xml", Variant: Variant(99)}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	long := strings.Repeat("word ", 70)
+	if _, err := eng.Search(Query{Text: long}); err == nil {
+		t.Fatal("over-long query accepted")
+	}
+}
+
+func TestEngineSaveLoad(t *testing.T) {
+	eng := newTestEngine(t)
+	eng.SetName("fig1")
+	path := filepath.Join(t.TempDir(), "fig1.wskb")
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := LoadEngine(path, EngineOptions{AvgDistance: eng.AvgDistance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Name() != "fig1" {
+		t.Fatalf("name = %q", eng2.Name())
+	}
+	a, err := eng.Search(Query{Text: "xml rdf sql", Variant: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng2.Search(Query{Text: "xml rdf sql", Variant: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answers) != len(b.Answers) || a.Answers[0].Central != b.Answers[0].Central {
+		t.Fatal("reloaded engine answers differ")
+	}
+}
+
+func TestSearchBANKS(t *testing.T) {
+	eng := newTestEngine(t)
+	for _, bidi := range []bool{false, true} {
+		res, err := eng.SearchBANKS("xml rdf sql", 5, bidi, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Trees) == 0 {
+			t.Fatalf("bidi=%v: no trees", bidi)
+		}
+		if res.Trees[0].RootLabel == "" || res.Visited == 0 {
+			t.Fatalf("bidi=%v: malformed result", bidi)
+		}
+		if len(res.Trees[0].Paths) != 3 {
+			t.Fatalf("bidi=%v: %d paths, want 3", bidi, len(res.Trees[0].Paths))
+		}
+	}
+	if _, err := eng.SearchBANKS("", 5, true, 0); err == nil {
+		t.Fatal("BANKS accepted empty query")
+	}
+}
+
+func TestSearchExactGST(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.SearchExactGST("xml rdf sql", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) == 0 || res.Popped == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	best := res.Trees[0]
+	if best.RootLabel == "" || len(best.Nodes) == 0 {
+		t.Fatalf("tree = %+v", best)
+	}
+	if len(best.Edges) != len(best.Nodes)-1 {
+		t.Fatalf("not a tree: %d edges, %d nodes", len(best.Edges), len(best.Nodes))
+	}
+	// The exact optimum's cost is a lower bound for every returned tree.
+	for _, tr := range res.Trees[1:] {
+		if tr.Cost < best.Cost {
+			t.Fatal("trees not cost-ordered")
+		}
+	}
+	if _, err := eng.SearchExactGST("", 3, 0); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// 13 distinct terms exceed gst.MaxKeywords (12).
+	if _, err := eng.SearchExactGST("xml rdf sql xpath xquery sparql facebook language version query relational path databases", 1, 0); err == nil {
+		t.Fatal("over-long GST query accepted")
+	}
+}
+
+func TestGenerateDatasetAndSearch(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{Preset: "tiny-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "tiny-sim" || len(ds.Planted) != 11 {
+		t.Fatalf("dataset = %q with %d planted queries", ds.Name, len(ds.Planted))
+	}
+	eng, err := NewEngine(ds.Graph, EngineOptions{DistanceSamplePairs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Search(Query{Text: strings.Join(ds.Planted[0].Keywords, " "), TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers on planted query")
+	}
+	if _, err := GenerateDataset(DatasetConfig{Preset: "nope"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestAblationKnobs(t *testing.T) {
+	eng := newTestEngine(t)
+	base, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without level-cover, answers can only grow.
+	noLC, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, DisableLevelCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noLC.Answers) != len(base.Answers) {
+		t.Fatalf("answer count changed: %d vs %d", len(noLC.Answers), len(base.Answers))
+	}
+	for i := range base.Answers {
+		if len(noLC.Answers[i].Nodes) < len(base.Answers[i].Nodes) {
+			t.Fatal("disabling level-cover shrank an answer")
+		}
+		if noLC.Answers[i].PrunedNodes != 0 {
+			t.Fatal("unpruned answer reports pruned nodes")
+		}
+	}
+	// Without activation levels the search still covers all keywords.
+	noAct, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, DisableActivation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noAct.Answers) == 0 {
+		t.Fatal("activation ablation returned nothing")
+	}
+	for i := range noAct.Answers {
+		a := &noAct.Answers[i]
+		for _, n := range a.Nodes {
+			for _, h := range n.HitLevels {
+				_ = h // hit levels may now ignore activation; just ensure structure holds
+			}
+		}
+	}
+}
+
+func TestSearchContextCancellation(t *testing.T) {
+	eng := newTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, v := range []Variant{CPUPar, CPUParD, GPUPar} {
+		if _, err := eng.SearchContext(ctx, Query{Text: "xml rdf sql", Variant: v}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", v, err)
+		}
+	}
+	// A live context behaves like Search.
+	res, err := eng.SearchContext(context.Background(), Query{Text: "xml rdf sql"})
+	if err != nil || len(res.Answers) == 0 {
+		t.Fatalf("live ctx: %v / %d answers", err, len(res.Answers))
+	}
+}
+
+func TestEngineConcurrentSearches(t *testing.T) {
+	eng := newTestEngine(t)
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		alpha := 0.05 + 0.05*float64(g%4) // exercise the level cache
+		go func() {
+			for i := 0; i < 5; i++ {
+				if _, err := eng.Search(Query{Text: "xml rdf sql", Alpha: alpha}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestActivationDistribution(t *testing.T) {
+	eng := newTestEngine(t)
+	for _, alpha := range []float64{0.05, 0.1, 0.4} {
+		d := eng.ActivationDistribution(alpha, 5)
+		total := 0
+		for _, c := range d {
+			total += c
+		}
+		if total != eng.Graph().NumNodes() {
+			t.Fatalf("α=%v: distribution sums to %d", alpha, total)
+		}
+	}
+	// Fig. 3's shape: larger α moves mass toward low activation levels.
+	small := eng.ActivationDistribution(0.05, 5)
+	large := eng.ActivationDistribution(0.4, 5)
+	if large[0] < small[0] {
+		t.Fatalf("α=0.4 low-level mass %d < α=0.05's %d", large[0], small[0])
+	}
+}

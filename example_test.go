@@ -1,0 +1,48 @@
+package wikisearch_test
+
+import (
+	"fmt"
+	"strings"
+
+	"wikisearch"
+)
+
+// ExampleEngine_Search builds a minimal knowledge graph and runs a keyword
+// query; the top answer is the Central Graph connecting all keywords.
+func ExampleEngine_Search() {
+	b := wikisearch.NewBuilder()
+	sql := b.AddNode("SQL", "query language for relational databases")
+	hub := b.AddNode("Query language", "")
+	sparql := b.AddNode("SPARQL", "RDF query language")
+	xq := b.AddNode("XQuery", "XML query language")
+	b.AddEdgeNamed(sql, hub, "instance of")
+	b.AddEdgeNamed(sparql, hub, "instance of")
+	b.AddEdgeNamed(xq, hub, "instance of")
+	g, _ := b.Build()
+
+	eng, _ := wikisearch.NewEngine(g, wikisearch.EngineOptions{AvgDistance: 2})
+	res, _ := eng.Search(wikisearch.Query{Text: "xml rdf sql", TopK: 1})
+
+	a := res.Answers[0]
+	fmt.Println("central:", a.CentralLabel)
+	for _, n := range a.Nodes[1:] {
+		fmt.Printf("%s {%s}\n", n.Label, strings.Join(n.Keywords, ","))
+	}
+	// Output:
+	// central: Query language
+	// SQL {sql}
+	// SPARQL {rdf}
+	// XQuery {xml}
+}
+
+// ExampleImportNTriples loads RDF data and reports what was imported.
+func ExampleImportNTriples() {
+	const nt = `<http://kb/Q1> <http://www.w3.org/2000/01/rdf-schema#label> "SPARQL" .
+<http://kb/Q1> <http://kb/p/designedFor> <http://kb/Q2> .
+<http://kb/Q2> <http://www.w3.org/2000/01/rdf-schema#label> "RDF" .
+`
+	g, stats, _ := wikisearch.ImportNTriples(strings.NewReader(nt))
+	fmt.Printf("%d nodes, %d edges, %d labels\n", g.NumNodes(), g.NumEdges(), stats.Labels)
+	// Output:
+	// 2 nodes, 1 edges, 2 labels
+}

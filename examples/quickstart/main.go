@@ -1,0 +1,81 @@
+// Quickstart: build a tiny knowledge graph in memory, prepare an engine,
+// and run one keyword query — the Fig. 1 scenario of the paper (query
+// languages, keywords "XML RDF SQL").
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"wikisearch"
+)
+
+func main() {
+	// 1. Build the graph: query languages around a "Query language" hub.
+	b := wikisearch.NewBuilder()
+	fql := b.AddNode("Facebook Query Language", "")
+	sql := b.AddNode("SQL", "query language for relational databases")
+	hub := b.AddNode("Query language", "")
+	sparql := b.AddNode("SPARQL query language for RDF", "")
+	s11 := b.AddNode("SPARQL 1.1", "")
+	rdfql := b.AddNode("RDF query language", "")
+	xquery := b.AddNode("XQuery", "XML query language")
+	xpath := b.AddNode("XPath", "XML path language")
+	xpath2 := b.AddNode("XPath 2", "")
+	xpath3 := b.AddNode("XPath 3", "")
+
+	b.AddEdgeNamed(fql, hub, "instance of")
+	b.AddEdgeNamed(sql, hub, "instance of")
+	b.AddEdgeNamed(sparql, hub, "instance of")
+	b.AddEdgeNamed(rdfql, hub, "instance of")
+	b.AddEdgeNamed(xquery, hub, "instance of")
+	b.AddEdgeNamed(xpath, hub, "instance of")
+	b.AddEdgeNamed(s11, sparql, "version of")
+	b.AddEdgeNamed(rdfql, sparql, "related to")
+	b.AddEdgeNamed(xpath2, xpath, "version of")
+	b.AddEdgeNamed(xpath3, xquery, "related to")
+	b.AddEdgeNamed(xpath, xquery, "related to")
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Prepare the engine: inverted index, degree-of-summary weights,
+	// sampled average distance.
+	eng, err := wikisearch.NewEngine(g, wikisearch.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; A = %.2f\n\n",
+		g.NumNodes(), g.NumEdges(), eng.AvgDistance())
+
+	// 3. Search. Answers are Central Graphs: graph-shaped, possibly with
+	// several nodes contributing the same keyword (here two RDF nodes).
+	res, err := eng.Search(wikisearch.Query{Text: "XML RDF SQL", TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query terms: %v  (d = %d, %d candidates, %v total)\n\n",
+		res.Terms, res.Depth, res.Candidates, res.Total)
+	for i := range res.Answers {
+		a := &res.Answers[i]
+		fmt.Printf("#%d  central: %q  score %.4f  depth %d\n",
+			i+1, a.CentralLabel, a.Score, a.Depth)
+		for _, n := range a.Nodes {
+			mark := "     "
+			if n.IsCentral {
+				mark = "  *  "
+			}
+			kw := ""
+			if len(n.Keywords) > 0 {
+				kw = "  {" + strings.Join(n.Keywords, ", ") + "}"
+			}
+			fmt.Printf("%s%s%s\n", mark, n.Label, kw)
+		}
+		fmt.Println()
+	}
+}

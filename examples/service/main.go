@@ -1,0 +1,106 @@
+// End-to-end service scenario: generate a knowledge base, persist it,
+// reload it (the wikigen → wikiserve pipeline, programmatically), serve it
+// over HTTP on a local port, and query it with a plain HTTP client — the
+// full life cycle of the paper's online WikiSearch demo.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wikisearch"
+	"wikisearch/internal/server"
+)
+
+func main() {
+	// 1. Generate and persist a dataset.
+	ds, err := wikisearch.GenerateDataset(wikisearch.DatasetConfig{Preset: "tiny-sim"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := wikisearch.NewEngine(ds.Graph, wikisearch.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.SetName(ds.Name)
+	dir, err := os.MkdirTemp("", "wikisearch-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dump := filepath.Join(dir, "kb.wskb")
+	if err := eng.Save(dump); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(dump)
+	fmt.Printf("saved %s: %.1f MB\n", dump, float64(st.Size())/(1<<20))
+
+	// 2. Reload — what wikiserve does at startup.
+	eng2, err := wikisearch.LoadEngine(dump, wikisearch.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded %s: %d nodes, %d edges, A=%.2f\n",
+		eng2.Name(), eng2.Graph().NumNodes(), eng2.Graph().NumEdges(), eng2.AvgDistance())
+
+	// 3. Serve on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(eng2), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 4. Query over HTTP like any client would.
+	for _, q := range []string{"statistical relational learning", "wikidata freebase sparql"} {
+		u := base + "/search?k=3&q=" + url.QueryEscape(q)
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var payload struct {
+			Terms   []string `json:"terms"`
+			Depth   int      `json:"depth"`
+			TotalMs float64  `json:"total_ms"`
+			Answers []struct {
+				Central string  `json:"central"`
+				Score   float64 `json:"score"`
+				Nodes   []struct {
+					Label    string   `json:"label"`
+					Keywords []string `json:"keywords"`
+				} `json:"nodes"`
+			} `json:"answers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("GET /search?q=%q → terms %v, d=%d, %.2f ms\n", q, payload.Terms, payload.Depth, payload.TotalMs)
+		for i, a := range payload.Answers {
+			fmt.Printf("  %d. [%.4f] %s (%d nodes)\n", i+1, a.Score, a.Central, len(a.Nodes))
+		}
+		fmt.Println()
+	}
+
+	// 5. Stats endpoint.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	json.NewDecoder(resp.Body).Decode(&stats) //nolint:errcheck
+	fmt.Printf("GET /stats → %v\n", stats)
+}

@@ -1,0 +1,3 @@
+module wikisearch
+
+go 1.24

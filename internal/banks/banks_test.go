@@ -1,0 +1,257 @@
+package banks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+// chain builds s0 — m1 — m2 — s1 with zero weights.
+func chain(t *testing.T, n int) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("v%d", i), "")
+	}
+	r := b.Rel("e")
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), r)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, make([]float64, n)
+}
+
+func TestBanks1FindsConnectionTree(t *testing.T) {
+	g, w := chain(t, 5)
+	res := SearchBANKS1(g, w, [][]graph.NodeID{{0}, {4}}, Options{K: 1})
+	if len(res.Trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(res.Trees))
+	}
+	tr := res.Trees[0]
+	// Every node on the chain ties at score 4 (unit costs, 4 edges split
+	// between the two keyword paths); whichever root wins the tie, the
+	// score is the optimum.
+	if tr.Score != 4 {
+		t.Fatalf("score = %v, want 4", tr.Score)
+	}
+	if len(tr.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(tr.Paths))
+	}
+	if len(tr.Nodes) != 5 {
+		t.Fatalf("tree covers %d nodes, want 5", len(tr.Nodes))
+	}
+}
+
+func TestBanks2SameAnswerSetOnSmallGraph(t *testing.T) {
+	g, w := chain(t, 7)
+	srcs := [][]graph.NodeID{{0}, {6}}
+	r1 := SearchBANKS1(g, w, srcs, Options{K: 3})
+	r2 := SearchBANKS2(g, w, srcs, Options{K: 3})
+	if len(r1.Trees) == 0 || len(r2.Trees) == 0 {
+		t.Fatal("no trees")
+	}
+	// Both must find the same best score (both are exhaustive on a tiny
+	// graph); BANKS-II visits in different order but converges.
+	if r1.Trees[0].Score != r2.Trees[0].Score {
+		t.Fatalf("best scores differ: %v vs %v", r1.Trees[0].Score, r2.Trees[0].Score)
+	}
+}
+
+func TestBanksRootContainingKeyword(t *testing.T) {
+	// A single node holding both keywords is a zero-cost answer.
+	b := graph.NewBuilder()
+	b.AddNode("both", "")
+	b.AddNode("other", "")
+	b.AddEdgeNamed(0, 1, "e")
+	g, _ := b.Build()
+	res := SearchBANKS1(g, []float64{0, 0}, [][]graph.NodeID{{0}, {0}}, Options{K: 1})
+	if len(res.Trees) != 1 || res.Trees[0].Root != 0 || res.Trees[0].Score != 0 {
+		t.Fatalf("trees = %+v", res.Trees)
+	}
+}
+
+func TestBanksSummaryWeightLengthensPaths(t *testing.T) {
+	// Two 2-hop routes; the route through the heavy node must lose.
+	b := graph.NewBuilder()
+	b.AddNode("s0", "")
+	b.AddNode("heavy", "")
+	b.AddNode("light", "")
+	b.AddNode("s1", "")
+	r := b.Rel("e")
+	b.AddEdge(0, 1, r)
+	b.AddEdge(1, 3, r)
+	b.AddEdge(0, 2, r)
+	b.AddEdge(2, 3, r)
+	g, _ := b.Build()
+	w := []float64{0, 0.9, 0.1, 0}
+	res := SearchBANKS1(g, w, [][]graph.NodeID{{0}, {3}}, Options{K: 1})
+	for _, n := range res.Trees[0].Nodes {
+		if n == 1 {
+			t.Fatalf("best tree routes through the heavy node: %v", res.Trees[0].Nodes)
+		}
+	}
+	for _, n := range res.Trees[0].Nodes {
+		if n == 2 {
+			return // routed through the light node, as expected
+		}
+	}
+	t.Fatalf("best tree does not use the light route: %v", res.Trees[0].Nodes)
+}
+
+func TestBanksDisconnectedKeywords(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a", "")
+	b.AddNode("b", "")
+	g, _ := b.Build()
+	res := SearchBANKS2(g, []float64{0, 0}, [][]graph.NodeID{{0}, {1}}, Options{K: 5})
+	if len(res.Trees) != 0 {
+		t.Fatalf("found trees across components: %+v", res.Trees)
+	}
+}
+
+func TestBanksMaxVisitsCap(t *testing.T) {
+	g, w := randomGraph(t, 200, 800, 1)
+	res := SearchBANKS2(g, w, [][]graph.NodeID{{0}, {1}, {2}}, Options{K: 50, MaxVisits: 10})
+	if res.Visited > 10 {
+		t.Fatalf("visited %d > cap 10", res.Visited)
+	}
+}
+
+func randomGraph(t *testing.T, n, m int, seed int64) (*graph.Graph, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("v%d", i), "")
+	}
+	r := b.Rel("e")
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), r)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	return g, w
+}
+
+func TestBanks1TopKSortedAndBounded(t *testing.T) {
+	g, w := randomGraph(t, 150, 600, 7)
+	srcs := [][]graph.NodeID{{0, 5}, {10, 20}, {30}}
+	res := SearchBANKS1(g, w, srcs, Options{K: 10})
+	if len(res.Trees) > 10 {
+		t.Fatalf("returned %d trees > k", len(res.Trees))
+	}
+	for i := 1; i < len(res.Trees); i++ {
+		if res.Trees[i].Score < res.Trees[i-1].Score {
+			t.Fatal("scores not ascending")
+		}
+	}
+	// Every tree must connect all keyword groups: path ends in a source.
+	for _, tr := range res.Trees {
+		for i, p := range tr.Paths {
+			leaf := p[len(p)-1]
+			found := false
+			for _, s := range srcs[i] {
+				if s == leaf {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tree rooted at %d: path %d ends at %d, not a keyword-%d source", tr.Root, i, leaf, i)
+			}
+		}
+	}
+}
+
+func TestBanks1ExactOnSmallGraphs(t *testing.T) {
+	// BANKS-I's best tree score must equal the brute-force optimum
+	// min over roots of Σ_i dist(root, group_i).
+	for seed := int64(0); seed < 10; seed++ {
+		g, w := randomGraph(t, 30, 80, seed)
+		srcs := [][]graph.NodeID{{1}, {2}}
+		res := SearchBANKS1(g, w, srcs, Options{K: 1})
+		best := bruteBest(g, w, srcs)
+		if len(res.Trees) == 0 {
+			if best >= 0 {
+				t.Fatalf("seed %d: BANKS-I found nothing, brute force %v", seed, best)
+			}
+			continue
+		}
+		if diff := res.Trees[0].Score - best; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: BANKS-I best %v != brute force %v", seed, res.Trees[0].Score, best)
+		}
+	}
+}
+
+// bruteBest runs Dijkstra from every group and sums distances per root.
+func bruteBest(g *graph.Graph, w []float64, srcs [][]graph.NodeID) float64 {
+	n := g.NumNodes()
+	dist := make([][]float64, len(srcs))
+	for i, src := range srcs {
+		dist[i] = dijkstra(g, w, src)
+	}
+	best := -1.0
+	for v := 0; v < n; v++ {
+		total := 0.0
+		ok := true
+		for i := range srcs {
+			if dist[i][v] < 0 {
+				ok = false
+				break
+			}
+			total += dist[i][v]
+		}
+		if ok && (best < 0 || total < best) {
+			best = total
+		}
+	}
+	return best
+}
+
+func dijkstra(g *graph.Graph, w []float64, src []graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	type qi struct {
+		v graph.NodeID
+		d float64
+	}
+	var q []qi
+	for _, s := range src {
+		dist[s] = 0
+		q = append(q, qi{s, 0})
+	}
+	for len(q) > 0 {
+		bi := 0
+		for i := range q {
+			if q[i].d < q[bi].d {
+				bi = i
+			}
+		}
+		cur := q[bi]
+		q = append(q[:bi], q[bi+1:]...)
+		if cur.d > dist[cur.v] {
+			continue
+		}
+		g.ForEachNeighbor(cur.v, func(nb graph.NodeID, _ graph.RelID, _ bool) {
+			nd := cur.d + 1 + w[nb]
+			if dist[nb] < 0 || nd < dist[nb] {
+				dist[nb] = nd
+				q = append(q, qi{nb, nd})
+			}
+		})
+	}
+	return dist
+}

@@ -1,0 +1,54 @@
+package banks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+func benchSetup(b *testing.B) (*graph.Graph, []float64, [][]graph.NodeID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	const n, m = 10000, 60000
+	gb := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		gb.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	r := gb.Rel("e")
+	for i := 0; i < m; i++ {
+		gb.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), r)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	sources := make([][]graph.NodeID, 3)
+	for i := range sources {
+		for len(sources[i]) < 10 {
+			sources[i] = append(sources[i], graph.NodeID(rng.Intn(n)))
+		}
+	}
+	return g, w, sources
+}
+
+func BenchmarkBANKS1(b *testing.B) {
+	g, w, src := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SearchBANKS1(g, w, src, Options{K: 10, MaxVisits: 20000})
+	}
+}
+
+func BenchmarkBANKS2(b *testing.B) {
+	g, w, src := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SearchBANKS2(g, w, src, Options{K: 10, MaxVisits: 20000})
+	}
+}

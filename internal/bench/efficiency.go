@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// EfficiencyVariants is Fig. 6/7's series order.
+var EfficiencyVariants = []string{VGPU, VCPU, VCPUD, VBanks}
+
+// Exp1VaryKnum reproduces Fig. 6 (wiki2017) / Fig. 7 (wiki2018): per-phase
+// profile and total time for every variant while the number of keywords
+// varies. Returns one table per phase panel plus the raw runs.
+func (e *Env) Exp1VaryKnum(knums []int) ([]Table, []Run, error) {
+	if len(knums) == 0 {
+		knums = []int{2, 4, 6, 8, 10}
+	}
+	var runs []Run
+	for _, knum := range knums {
+		queries := e.Workload(knum, e.Cfg.QueriesPerSetting)
+		for _, v := range EfficiencyVariants {
+			if v == VBanks {
+				// BANKS has no phase breakdown; measured for Total only.
+			}
+			r, err := e.measure(v, queries, e.Cfg.TopK, e.Cfg.Alpha, e.Cfg.Threads)
+			if err != nil {
+				return nil, nil, err
+			}
+			r.X = fmt.Sprint(knum)
+			runs = append(runs, r)
+		}
+	}
+	return phasePanels("exp1", fmt.Sprintf("Vary Knum on %s (Fig. 6/7)", e.KB.Name), "Knum", knums, runs), runs, nil
+}
+
+// Exp2VaryTopk reproduces Fig. 8 row 1: total time while k varies.
+func (e *Env) Exp2VaryTopk(topks []int) (Table, []Run, error) {
+	if len(topks) == 0 {
+		topks = []int{1, 10, 20, 30, 40, 50}
+	}
+	queries := e.Workload(e.Cfg.Knum, e.Cfg.QueriesPerSetting)
+	var runs []Run
+	for _, k := range topks {
+		for _, v := range EfficiencyVariants {
+			r, err := e.measure(v, queries, k, e.Cfg.Alpha, e.Cfg.Threads)
+			if err != nil {
+				return Table{}, nil, err
+			}
+			r.X = fmt.Sprint(k)
+			runs = append(runs, r)
+		}
+	}
+	ints := topks
+	return totalPanel("exp2", fmt.Sprintf("Vary Topk on %s (Fig. 8)", e.KB.Name), "Topk", intsToStrings(ints), runs), runs, nil
+}
+
+// Exp3VaryAlpha reproduces Fig. 8 row 2: total time while α varies.
+func (e *Env) Exp3VaryAlpha(alphas []float64) (Table, []Run, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	}
+	queries := e.Workload(e.Cfg.Knum, e.Cfg.QueriesPerSetting)
+	var runs []Run
+	var xs []string
+	for _, a := range alphas {
+		x := fmt.Sprintf("%.2f", a)
+		xs = append(xs, x)
+		// BANKS-II does not depend on α; the paper still plots it as a
+		// flat reference line, so it is measured once per α here too.
+		for _, v := range EfficiencyVariants {
+			r, err := e.measure(v, queries, e.Cfg.TopK, a, e.Cfg.Threads)
+			if err != nil {
+				return Table{}, nil, err
+			}
+			r.X = x
+			runs = append(runs, r)
+		}
+	}
+	return totalPanel("exp3", fmt.Sprintf("Vary alpha on %s (Fig. 8)", e.KB.Name), "alpha", xs, runs), runs, nil
+}
+
+// Exp4VaryThreads reproduces Fig. 9/10: per-phase profile while Tnum
+// varies. Only the CPU variants depend on Tnum for the bottom-up stage;
+// GPU-Par is included because its top-down stage runs on the CPU (§VI-A).
+func (e *Env) Exp4VaryThreads(threads []int) ([]Table, []Run, error) {
+	if len(threads) == 0 {
+		threads = []int{1, 2, 5, 10, 20, 30, 40, 50}
+	}
+	queries := e.Workload(e.Cfg.Knum, e.Cfg.QueriesPerSetting)
+	var runs []Run
+	for _, tn := range threads {
+		for _, v := range []string{VGPU, VCPU, VCPUD} {
+			r, err := e.measure(v, queries, e.Cfg.TopK, e.Cfg.Alpha, tn)
+			if err != nil {
+				return nil, nil, err
+			}
+			r.X = fmt.Sprint(tn)
+			runs = append(runs, r)
+		}
+	}
+	return phasePanels("exp4", fmt.Sprintf("Vary Tnum on %s (Fig. 9/10)", e.KB.Name), "Tnum", threads, runs), runs, nil
+}
+
+// phasePanels lays runs out as Fig. 6/7/9/10: one table per phase, rows =
+// variants, columns = x values.
+func phasePanels(id, title, xname string, xs []int, runs []Run) []Table {
+	var tables []Table
+	for _, phase := range PhaseNames {
+		t := Table{
+			ID:     id + "/" + phase,
+			Title:  title + " — " + phase + " (ms)",
+			Header: append([]string{"variant \\ " + xname}, intsToStrings(xs)...),
+		}
+		for _, v := range EfficiencyVariants {
+			row := []string{v}
+			present := false
+			for _, x := range intsToStrings(xs) {
+				val, ok := lookup(runs, v, x)
+				if !ok {
+					continue
+				}
+				present = true
+				if phase == "Total" {
+					row = append(row, msCapped(val))
+				} else if p, ok := val.Phases[phase]; ok {
+					row = append(row, ms(p))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if present {
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// totalPanel lays runs out as Fig. 8: total time only.
+func totalPanel(id, title, xname string, xs []string, runs []Run) Table {
+	t := Table{
+		ID:     id,
+		Title:  title + " — Total time (ms)",
+		Header: append([]string{"variant \\ " + xname}, xs...),
+	}
+	for _, v := range EfficiencyVariants {
+		row := []string{v}
+		for _, x := range xs {
+			if val, ok := lookup(runs, v, x); ok {
+				row = append(row, msCapped(val))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// msCapped renders a total with a trailing '*' when some BANKS queries hit
+// the visit cap (the timing is then a lower bound).
+func msCapped(r Run) string {
+	s := ms(r.TotalMs)
+	if r.CapHits > 0 {
+		s += "*"
+	}
+	return s
+}
+
+func lookup(runs []Run, variant, x string) (Run, bool) {
+	for _, r := range runs {
+		if r.Variant == variant && r.X == x {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+func intsToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprint(x)
+	}
+	return out
+}
+
+// FindRun retrieves an averaged measurement from a run list (test helper).
+func FindRun(runs []Run, variant, x string) (Run, bool) { return lookup(runs, variant, x) }

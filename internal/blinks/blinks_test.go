@@ -1,0 +1,179 @@
+package blinks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+func smallKB(t testing.TB) (*graph.Graph, *text.Index) {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("sql database", "")   // 0
+	b.AddNode("hub", "")            // 1
+	b.AddNode("rdf store", "")      // 2
+	b.AddNode("xml parser", "")     // 3
+	b.AddNode("isolated thing", "") // 4 (disconnected)
+	b.AddEdgeNamed(0, 1, "e")
+	b.AddEdgeNamed(2, 1, "e")
+	b.AddEdgeNamed(3, 2, "e")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, text.BuildIndex(g)
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	g, ix := smallKB(t)
+	idx, err := Build(g, ix, []string{"sql", "rdf"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Terms() != 2 {
+		t.Fatalf("terms = %d", idx.Terms())
+	}
+	// Distances from "sql" (node 0): 0:0, 1:1, 2:2, 3:3, 4:-1.
+	want := []int32{0, 1, 2, 3, -1}
+	for v, w := range want {
+		if d := idx.Distance(graph.NodeID(v), "sql"); d != w {
+			t.Fatalf("MNK(%d, sql) = %d, want %d", v, d, w)
+		}
+	}
+	// LKN("sql") sorted by distance.
+	list := idx.List("sql")
+	if len(list) != 4 {
+		t.Fatalf("LKN(sql) = %v", list)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Dist < list[i-1].Dist {
+			t.Fatal("LKN not distance-sorted")
+		}
+	}
+	if list[0].Node != 0 || list[0].Dist != 0 {
+		t.Fatalf("LKN head = %+v", list[0])
+	}
+	if idx.List("nope") != nil || idx.Distance(0, "nope") != -1 {
+		t.Fatal("unknown term must be empty")
+	}
+	if idx.Bytes() <= 0 {
+		t.Fatal("Bytes = 0")
+	}
+}
+
+func TestMaxDistBound(t *testing.T) {
+	g, ix := smallKB(t)
+	idx, err := Build(g, ix, []string{"sql"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.List("sql")) != 2 { // dist 0 and 1 only
+		t.Fatalf("bounded LKN = %v", idx.List("sql"))
+	}
+	if idx.Distance(2, "sql") != -1 {
+		t.Fatal("beyond-bound distance must be -1")
+	}
+}
+
+func TestBuildUnknownTerm(t *testing.T) {
+	g, ix := smallKB(t)
+	if _, err := Build(g, ix, []string{"zzz"}, 0); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+}
+
+func TestIndexMatchesDirectBFS(t *testing.T) {
+	// Random graph: MNK must equal a direct multi-source BFS per term.
+	rng := rand.New(rand.NewSource(4))
+	b := graph.NewBuilder()
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	const n = 60
+	for i := 0; i < n; i++ {
+		b.AddNode(words[rng.Intn(len(words))]+" node", "")
+	}
+	r := b.Rel("e")
+	for i := 0; i < 150; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), r)
+	}
+	g, _ := b.Build()
+	ix := text.BuildIndex(g)
+	idx, err := Build(g, ix, []string{"alpha", "beta"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []string{"alpha", "beta"} {
+		ref := graph.BFSDistances(g, ix.LookupTerm(term)...)
+		for v := 0; v < n; v++ {
+			if got := idx.Distance(graph.NodeID(v), term); got != ref[v] {
+				t.Fatalf("MNK(%d,%s) = %d, BFS = %d", v, term, got, ref[v])
+			}
+		}
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder()
+	const n = 400
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("word%d filler%d", rng.Intn(40), rng.Intn(200)), "")
+	}
+	r := b.Rel("e")
+	for i := 0; i < 1200; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), r)
+	}
+	g, _ := b.Build()
+	ix := text.BuildIndex(g)
+	rep, err := Feasibility(g, ix, []int{5, 10, 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for i, p := range rep.Points {
+		if p.Bytes <= 0 {
+			t.Fatalf("point %d: bytes = %d", i, p.Bytes)
+		}
+		if i > 0 && p.Bytes < rep.Points[i-1].Bytes {
+			t.Fatal("bytes must grow with terms")
+		}
+	}
+	if rep.FullVocabTerms != ix.NumTerms() {
+		t.Fatalf("full vocab = %d", rep.FullVocabTerms)
+	}
+	if rep.ProjectedBytes < rep.Points[2].Bytes {
+		t.Fatal("projection must not shrink")
+	}
+}
+
+// BenchmarkBuildPerTerm measures the per-keyword BFS cost of BLINKS
+// precomputation — the unit that multiplies into the paper's
+// infeasibility argument.
+func BenchmarkBuildPerTerm(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	gb := graph.NewBuilder()
+	const n = 20000
+	words := []string{"alpha", "beta", "gamma"}
+	for i := 0; i < n; i++ {
+		gb.AddNode(words[rng.Intn(len(words))]+" entity", "")
+	}
+	r := gb.Rel("e")
+	for i := 0; i < 120000; i++ {
+		gb.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), r)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := text.BuildIndex(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, ix, []string{"alpha"}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

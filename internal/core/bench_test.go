@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wikisearch/internal/device"
+	"wikisearch/internal/graph"
+)
+
+// benchScenario builds a mid-size random scenario once per benchmark.
+func benchScenario(b *testing.B) (Input, Params) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	const n, m = 20000, 120000
+	gb := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		gb.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []graph.RelID{gb.Rel("a"), gb.Rel("b"), gb.Rel("c")}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(3)])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := make([]uint8, n)
+	weights := make([]float64, n)
+	for i := range levels {
+		levels[i] = uint8(rng.Intn(4))
+		weights[i] = rng.Float64()
+	}
+	q := 4
+	sources := make([][]graph.NodeID, q)
+	for i := range sources {
+		for len(sources[i]) < 20 {
+			sources[i] = append(sources[i], graph.NodeID(rng.Intn(n)))
+		}
+	}
+	terms := make([]string, q)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%d", i)
+	}
+	in := Input{G: g, Weights: weights, Levels: levels, Terms: terms, Sources: sources}
+	return in, Params{TopK: 20, Threads: 4, MaxLevel: 16}
+}
+
+// BenchmarkSearchLockFree measures the lock-free two-stage search (the
+// paper's CPU-Par) end to end.
+func BenchmarkSearchLockFree(b *testing.B) {
+	in, p := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(in, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchDynamicLocked measures the lock-based CPU-Par-d variant —
+// the paper's Exp-1 lock-free-vs-locked comparison in microcosm.
+func BenchmarkSearchDynamicLocked(b *testing.B) {
+	in, p := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchDynamic(in, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchGPUSimulated measures the SIMT-mapped variant.
+func BenchmarkSearchGPUSimulated(b *testing.B) {
+	in, p := benchScenario(b)
+	dev := device.GTX1080Ti()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchGPU(in, p, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchSequential is the Tnum=1 baseline of Fig. 9/10.
+func BenchmarkSearchSequential(b *testing.B) {
+	in, p := benchScenario(b)
+	p.Threads = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(in, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+)
+
+// state carries the shared structures of one two-stage search: the three
+// lock-free arrays of §V-B (node-keyword matrix M, FIdentifier, CIdentifier)
+// plus frontier bookkeeping.
+type state struct {
+	in   Input
+	p    Params
+	pool *parallel.Pool
+
+	m   *Matrix
+	fid *parallel.Bitset // FIdentifier: frontier flags for the next level
+	cid *parallel.Bitset // CIdentifier: already-identified Central Nodes
+
+	// contains[v] is the mask of query keywords node v contains (v ∈ T_i).
+	// Nonzero means "keyword node" in the sense of §IV-B.
+	contains []uint64
+
+	frontier  []int32
+	centralAt []int32        // BFS level at which v was identified central, -1 otherwise
+	centrals  []graph.NodeID // identification order
+	level     int
+
+	prof Profile
+}
+
+// newState runs the Initialization phase of Algorithm 1: allocate M,
+// FIdentifier and CIdentifier, set m_ij = 0 for keyword nodes and flag them
+// as level-0 frontiers.
+func newState(in Input, p Params, pool *parallel.Pool) *state {
+	n := in.G.NumNodes()
+	q := len(in.Sources)
+	s := &state{
+		in:        in,
+		p:         p,
+		pool:      pool,
+		m:         NewMatrix(n, q),
+		fid:       parallel.NewBitset(n),
+		cid:       parallel.NewBitset(n),
+		contains:  make([]uint64, n),
+		centralAt: make([]int32, n),
+	}
+	for i := range s.centralAt {
+		s.centralAt[i] = -1
+	}
+	// fork(); Initialize B_i for all t_i in Q; join(); — one task per
+	// keyword, each writing disjoint columns (duplicated source nodes write
+	// the containment mask atomically via the bitset-free OR below being
+	// per-keyword disjoint; contains[] is merged sequentially to stay
+	// race-free at negligible cost).
+	thunks := make([]func(), q)
+	for i := 0; i < q; i++ {
+		i := i
+		thunks[i] = func() {
+			for _, v := range in.Sources[i] {
+				s.m.Set(v, i, 0)
+				s.fid.Set(int(v))
+			}
+		}
+	}
+	pool.Run(thunks...)
+	for i := 0; i < q; i++ {
+		bit := uint64(1) << uint(i)
+		for _, v := range in.Sources[i] {
+			s.contains[v] |= bit
+		}
+	}
+	return s
+}
+
+// enqueueFrontiers extracts the frontier queue from FIdentifier and resets
+// the flags — sequential on CPU, exactly as the paper found fastest (§V-B,
+// "on CPU locked writing is so expensive and the fastest way is to enqueue
+// frontiers in a sequential manner"). One joint frontier array serves all
+// BFS instances.
+func (s *state) enqueueFrontiers() {
+	s.frontier = s.fid.AppendSet(s.frontier[:0])
+	s.fid.Reset()
+	s.prof.FrontierTotal += int64(len(s.frontier))
+}
+
+// identifyCentrals scans the frontier for nodes hit by every BFS instance
+// (Definition 3) that are not yet central, marks them in CIdentifier and
+// records the identification level, which by Lemma V.1 equals the depth of
+// the Central Graph. Returns the number of new Central Nodes.
+func (s *state) identifyCentrals() int {
+	lvl := int32(s.level)
+	s.pool.For(len(s.frontier), func(i int) {
+		v := graph.NodeID(s.frontier[i])
+		if s.cid.Get(int(v)) {
+			return
+		}
+		if s.m.AllHit(v) {
+			s.cid.Set(int(v))
+			s.centralAt[v] = lvl // each frontier entry is unique: no race
+		}
+	})
+	// Collect in frontier order so results are deterministic regardless of
+	// the number of threads.
+	found := 0
+	for _, f := range s.frontier {
+		if s.centralAt[f] == lvl {
+			s.centrals = append(s.centrals, graph.NodeID(f))
+			found++
+		}
+	}
+	return found
+}
+
+// expand runs Algorithm 2 (the Expansion procedure) for the current level:
+// every frontier not identified as central and active at this level expands
+// each BFS instance it belongs to into its bi-directed neighbors. All
+// writes are the idempotent lock-free writes of Theorem V.2.
+func (s *state) expand() {
+	l := s.level
+	q := s.m.Q()
+	var scanned atomic.Int64
+	s.pool.ForChunks(len(s.frontier), func(start, end int) {
+		var local int64
+		for fi := start; fi < end; fi++ {
+			vf := graph.NodeID(s.frontier[fi])
+			if s.cid.Get(int(vf)) {
+				continue // central nodes are unavailable for expansion
+			}
+			af := int(s.in.Levels[vf])
+			if af > l {
+				// Not yet active: stay a frontier and retry next level.
+				s.fid.Set(int(vf))
+				continue
+			}
+			for i := 0; i < q; i++ {
+				hif := s.m.Get(vf, i)
+				if int(hif) > l {
+					continue // not (yet) a frontier of B_i
+				}
+				local += int64(s.in.G.Degree(vf))
+				s.in.G.ForEachNeighbor(vf, func(vn graph.NodeID, _ graph.RelID, _ bool) {
+					if s.m.Get(vn, i) != Infinity {
+						return // already hit in B_i
+					}
+					if s.contains[vn] == 0 {
+						// Non-keyword nodes respect their activation level:
+						// they can only be hit once the next level reaches
+						// it; until then the frontier is retained so the
+						// expansion retries (§IV-B).
+						if int(s.in.Levels[vn]) > l+1 {
+							s.fid.Set(int(vf))
+							return
+						}
+					}
+					s.m.Set(vn, i, uint8(l+1))
+					s.fid.Set(int(vn))
+				})
+			}
+		}
+		scanned.Add(local)
+	})
+	s.prof.EdgesScanned += scanned.Load()
+}
+
+// bottomUp runs stage one of Algorithm 1 and returns d — the smallest depth
+// at which at least k Central Nodes exist (Definition 4) — or the level at
+// which the search exhausted the graph or hit MaxLevel. A cancelled context
+// aborts between levels.
+func (s *state) bottomUp() (int, error) {
+	k := s.p.TopK
+	for {
+		if err := cancelled(s.p); err != nil {
+			return s.level, err
+		}
+		t0 := time.Now()
+		s.enqueueFrontiers()
+		s.prof.Phases[PhaseEnqueue] += time.Since(t0)
+		if len(s.frontier) == 0 {
+			break // graph exhausted: fewer than k Central Graphs exist
+		}
+
+		t0 = time.Now()
+		s.identifyCentrals()
+		s.prof.Phases[PhaseIdentify] += time.Since(t0)
+		s.prof.Levels++
+		if len(s.centrals) >= k {
+			break // d found: all Central Graphs of depth ≤ level collected
+		}
+		if s.level >= s.p.MaxLevel {
+			break
+		}
+
+		t0 = time.Now()
+		s.expand()
+		s.prof.Phases[PhaseExpand] += time.Since(t0)
+		s.level++
+	}
+	return s.level, nil
+}
+
+// cancelled reports the context error, if a context was set and fired.
+func cancelled(p Params) error {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Err()
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"wikisearch/internal/graph"
+)
+
+// levelCover applies the keyword-co-occurrence level-cover strategy (§V-C)
+// to an extracted Central Graph and returns the kept nodes in extraction
+// order.
+//
+// Keyword nodes are classified into levels by the number of query keywords
+// they contain; the Central Node is always at the top. Walking levels from
+// most-contributing down, a level's nodes are judged against the coverage
+// accumulated from *previous* levels only — so nodes never cause pruning of
+// nodes within their own level, preserving as many keyword nodes as
+// possible. A keyword node is pruned when every keyword it contains is
+// already covered; once coverage is complete, all remaining lower levels
+// are pruned. Finally the hitting paths that served only pruned keyword
+// nodes are dropped: a path node survives iff it is reachable from a kept
+// keyword node (or is the Central Node or on a kept node's downstream path).
+func (env *assembleEnv) levelCover(ex *extraction) []graph.NodeID {
+	all := allMask(env.q)
+
+	// Classify keyword nodes (nodes containing ≥1 query keyword) by
+	// containment count. The central node seeds coverage unconditionally.
+	covered := env.contains[ex.central]
+	type kwNode struct {
+		v    graph.NodeID
+		mask uint64
+	}
+	var kws []kwNode
+	for _, v := range ex.order {
+		if v == ex.central {
+			continue
+		}
+		if m := env.contains[v]; m != 0 {
+			kws = append(kws, kwNode{v, m})
+		}
+	}
+	sort.SliceStable(kws, func(i, j int) bool {
+		return bits.OnesCount64(kws[i].mask) > bits.OnesCount64(kws[j].mask)
+	})
+
+	keptKw := map[graph.NodeID]struct{}{}
+	for lo := 0; lo < len(kws); {
+		cnt := bits.OnesCount64(kws[lo].mask)
+		hi := lo
+		for hi < len(kws) && bits.OnesCount64(kws[hi].mask) == cnt {
+			hi++
+		}
+		if covered == all {
+			break // prune all remaining (lower) levels
+		}
+		levelCoverage := covered
+		for _, kn := range kws[lo:hi] {
+			if kn.mask&^covered != 0 { // contributes an uncovered keyword
+				keptKw[kn.v] = struct{}{}
+				levelCoverage |= kn.mask
+			}
+		}
+		covered = levelCoverage
+		lo = hi
+	}
+
+	// Keep path nodes reachable from kept keyword nodes (and the central
+	// node) along expansion edges — everything else served only pruned
+	// keyword nodes.
+	kept := map[graph.NodeID]struct{}{ex.central: {}}
+	for v := range keptKw {
+		kept[v] = struct{}{}
+	}
+	adj := map[graph.NodeID][]graph.NodeID{}
+	for _, e := range ex.edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	queue := make([]graph.NodeID, 0, len(kept))
+	for v := range kept {
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range adj[v] {
+			if _, ok := kept[w]; !ok {
+				kept[w] = struct{}{}
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	out := make([]graph.NodeID, 0, len(kept))
+	for _, v := range ex.order {
+		if _, ok := kept[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+)
+
+// Infinity marks a never-hit cell in the node-keyword matrix (the paper's ∞;
+// one byte per hitting level, §V-B).
+const Infinity = parallel.Infinity
+
+// Matrix is the node-keyword matrix M: mij records the hitting level of
+// node v_i w.r.t. BFS instance B_j. It is the only structure the expansion
+// kernel writes concurrently, and all concurrent writes to one cell write
+// the same value (Theorem V.2), so atomic byte stores suffice — no locks.
+type Matrix struct {
+	cells *parallel.ByteArray
+	q     int
+}
+
+// NewMatrix allocates an n×q matrix filled with Infinity.
+func NewMatrix(n, q int) *Matrix {
+	return &Matrix{cells: parallel.NewByteArray(n*q, Infinity), q: q}
+}
+
+// Q returns the number of keyword columns.
+func (m *Matrix) Q() int { return m.q }
+
+// Get returns the hitting level of node v for keyword j.
+func (m *Matrix) Get(v graph.NodeID, j int) uint8 { return m.cells.Get(int(v)*m.q + j) }
+
+// Set stores the hitting level of node v for keyword j.
+func (m *Matrix) Set(v graph.NodeID, j int, level uint8) { m.cells.Set(int(v)*m.q+j, level) }
+
+// Hit reports whether node v has been hit by BFS instance j.
+func (m *Matrix) Hit(v graph.NodeID, j int) bool { return m.Get(v, j) != Infinity }
+
+// AllHit reports whether node v has been hit by every BFS instance — the
+// Central Node condition of Definition 3.
+func (m *Matrix) AllHit(v graph.NodeID) bool {
+	base := int(v) * m.q
+	for j := 0; j < m.q; j++ {
+		if m.cells.Get(base+j) == Infinity {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxHit returns the largest finite hitting level of node v — the Central
+// Graph depth of Eq. 1 when v is central. The second return is false when
+// some instance never hit v.
+func (m *Matrix) MaxHit(v graph.NodeID) (uint8, bool) {
+	var mx uint8
+	base := int(v) * m.q
+	for j := 0; j < m.q; j++ {
+		h := m.cells.Get(base + j)
+		if h == Infinity {
+			return 0, false
+		}
+		if h > mx {
+			mx = h
+		}
+	}
+	return mx, true
+}
+
+// Row copies node v's hitting levels into dst (len q).
+func (m *Matrix) Row(v graph.NodeID, dst []uint8) {
+	base := int(v) * m.q
+	for j := 0; j < m.q; j++ {
+		dst[j] = m.cells.Get(base + j)
+	}
+}
+
+// ByteSize returns the matrix footprint in bytes, for the storage accounting
+// of Table IV.
+func (m *Matrix) ByteSize() int64 { return int64(m.cells.Len()) }

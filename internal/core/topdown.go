@@ -1,0 +1,339 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"wikisearch/internal/graph"
+)
+
+// extraction is one Central Graph being recovered from the node-keyword
+// matrix (Algorithm 3). Nodes carry the mask of keywords whose hitting
+// paths traverse them; edges are expansion steps (parent → child, flowing
+// keyword sources → Central Node).
+type extraction struct {
+	central   graph.NodeID
+	depth     int
+	order     []graph.NodeID          // insertion order, central first
+	onPaths   map[graph.NodeID]uint64 // keyword-path membership masks
+	edges     []AnswerEdge            // deduplicated expansion steps
+	edgeIndex map[edgeKey]int         // dedup: (from,to,rel,forward) → edges index
+	truncated bool                    // hit the MaxGraphNodes cap
+}
+
+type edgeKey struct {
+	from, to graph.NodeID
+	rel      graph.RelID
+	forward  bool
+}
+
+// workItem is a (node, fresh keyword bits) pair on the extraction worklist.
+type workItem struct {
+	node graph.NodeID
+	bits uint64
+}
+
+// extract recovers the Central Graph centered at vc using the hitting-level
+// heuristics of Theorem V.4: vn is a parent of vf on keyword i's hitting
+// path iff h_i(vf) = 1 + max(a_n, h_i(vn)) when vf contains keywords, or
+// 1 + max(a_n, h_i(vn), a_f − 1) when it does not. All qualifying parents
+// are collected, which is what yields multi-path answers.
+func (s *state) extract(vc graph.NodeID) *extraction {
+	q := s.m.Q()
+	ex := &extraction{
+		central:   vc,
+		onPaths:   map[graph.NodeID]uint64{vc: allMask(q)},
+		order:     []graph.NodeID{vc},
+		edgeIndex: map[edgeKey]int{},
+	}
+	if d, ok := s.m.MaxHit(vc); ok {
+		ex.depth = int(d)
+	}
+	work := []workItem{{vc, allMask(q)}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		vf := it.node
+		af := int(s.in.Levels[vf])
+		fHasKeywords := s.contains[vf] != 0
+		for i := 0; i < q; i++ {
+			if it.bits&(1<<uint(i)) == 0 {
+				continue
+			}
+			hif := int(s.m.Get(vf, i))
+			if hif == 0 {
+				continue // keyword source: hitting paths for i start here
+			}
+			s.in.G.ForEachNeighbor(vf, func(vn graph.NodeID, rel graph.RelID, out bool) {
+				hin := s.m.Get(vn, i)
+				if hin == Infinity {
+					return
+				}
+				an := int(s.in.Levels[vn])
+				target := 1 + max(an, int(hin))
+				if !fHasKeywords {
+					target = 1 + max(target-1, af-1)
+				}
+				if hif != target {
+					return
+				}
+				// A node identified central before the expansion level
+				// became unavailable for expansion (§III-B), so it cannot
+				// have been a real parent; without this filter extraction
+				// could claim paths the search never traversed.
+				if ca := s.centralAt[vn]; ca >= 0 && int(ca) <= hif-1 {
+					return
+				}
+				ex.addEdge(vn, vf, rel, !out, uint64(1)<<uint(i))
+				prev, known := ex.onPaths[vn]
+				fresh := (uint64(1) << uint(i)) &^ prev
+				if fresh == 0 {
+					return
+				}
+				if !known {
+					if len(ex.order) >= s.p.MaxGraphNodes {
+						ex.truncated = true
+						return
+					}
+					ex.order = append(ex.order, vn)
+				}
+				ex.onPaths[vn] = prev | fresh
+				work = append(work, workItem{vn, fresh})
+			})
+		}
+	}
+	return ex
+}
+
+// addEdge records one expansion step parent → child, merging keyword masks
+// of duplicate steps. forward tells whether the underlying directed edge is
+// stored parent → child.
+func (ex *extraction) addEdge(from, to graph.NodeID, rel graph.RelID, forward bool, bits uint64) {
+	k := edgeKey{from, to, rel, forward}
+	if i, ok := ex.edgeIndex[k]; ok {
+		ex.edges[i].Keywords |= bits
+		return
+	}
+	ex.edgeIndex[k] = len(ex.edges)
+	ex.edges = append(ex.edges, AnswerEdge{From: from, To: to, Rel: rel, Forward: forward, Keywords: bits})
+}
+
+// candidate is a pruned, scored Central Graph awaiting final selection.
+type candidate struct {
+	answer  *Answer
+	nodeSet map[graph.NodeID]struct{}
+	covers  bool
+	rank    int // identification order, for deterministic ties
+}
+
+// assembleEnv carries the per-query context the top-down stage needs to
+// prune and score an extracted Central Graph. Both the matrix-based and the
+// dynamic (lock-based) variants assemble answers through it.
+type assembleEnv struct {
+	q            int
+	contains     []uint64
+	weights      []float64
+	lambda       float64
+	row          func(v graph.NodeID, dst []uint8) // hitting levels of v
+	noLevelCover bool
+}
+
+func (s *state) env() *assembleEnv {
+	return &assembleEnv{
+		q:            s.m.Q(),
+		contains:     s.contains,
+		weights:      s.in.Weights,
+		lambda:       s.p.Lambda,
+		row:          s.m.Row,
+		noLevelCover: s.p.DisableLevelCover,
+	}
+}
+
+// assemble applies the level-cover strategy to an extraction and builds the
+// scored Answer.
+func (env *assembleEnv) assemble(ex *extraction, rank int) *candidate {
+	kept := ex.order
+	if !env.noLevelCover {
+		kept = env.levelCover(ex)
+	}
+	var (
+		nodes  []AnswerNode
+		sumW   float64
+		ids    = make(map[graph.NodeID]struct{}, len(kept))
+		pruned = len(ex.order) - len(kept)
+	)
+	q := env.q
+	for _, v := range kept {
+		row := make([]uint8, q)
+		env.row(v, row)
+		nodes = append(nodes, AnswerNode{
+			ID:        v,
+			Contains:  env.contains[v],
+			OnPaths:   ex.onPaths[v],
+			HitLevels: row,
+		})
+		ids[v] = struct{}{}
+	}
+	// Canonical order — central node first, then ascending id; edges by
+	// (From, To, Rel) — so answers are identical regardless of thread count
+	// or scheduling.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].ID == ex.central {
+			return nodes[j].ID != ex.central
+		}
+		if nodes[j].ID == ex.central {
+			return false
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+	for _, n := range nodes {
+		sumW += env.weights[n.ID] // summed in canonical order: bit-stable
+	}
+	var edges []AnswerEdge
+	for _, e := range ex.edges {
+		if _, ok := ids[e.From]; !ok {
+			continue
+		}
+		if _, ok := ids[e.To]; !ok {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return a.Forward && !b.Forward
+	})
+	a := &Answer{
+		Central:     ex.central,
+		Depth:       ex.depth,
+		Score:       Score(ex.depth, sumW, env.lambda),
+		Nodes:       nodes,
+		Edges:       edges,
+		PrunedNodes: pruned,
+	}
+	return &candidate{
+		answer:  a,
+		nodeSet: ids,
+		covers:  a.ContainsAllKeywords(q),
+		rank:    rank,
+	}
+}
+
+// topDown runs stage two of Algorithm 1: extract, prune and rank every
+// Central Graph found by the bottom-up stage, then select the final top-k.
+// Extraction and pruning of different Central Graphs run in parallel with
+// dynamic scheduling ("we let one thread recover one or more Central
+// Graphs", §V-C).
+func (s *state) topDown() ([]*Answer, error) {
+	env := s.env()
+	cands := make([]*candidate, len(s.centrals))
+	s.pool.For(len(s.centrals), func(i int) {
+		if cancelled(s.p) != nil {
+			return // drained quickly; the nil candidate is dropped below
+		}
+		ex := s.extract(s.centrals[i])
+		cands[i] = env.assemble(ex, i)
+	})
+	if err := cancelled(s.p); err != nil {
+		return nil, err
+	}
+	return selectTopK(cands, s.p.TopK), nil
+}
+
+// selectTopK ranks candidates by score and drops (a) candidates that do not
+// cover every keyword (defensive: only possible under extraction caps) and
+// (b) Central Graphs that completely contain a better-ranked, smaller
+// answer ("we remove the Central Graph that completely contains smaller
+// ones", §VI-B), then returns the best k.
+func selectTopK(cands []*candidate, k int) []*Answer {
+	ordered := make([]*candidate, 0, len(cands))
+	for _, c := range cands {
+		if c != nil && c.covers {
+			ordered = append(ordered, c)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.answer.Score != b.answer.Score {
+			return a.answer.Score < b.answer.Score
+		}
+		if a.answer.Depth != b.answer.Depth {
+			return a.answer.Depth < b.answer.Depth
+		}
+		return a.rank < b.rank
+	})
+	var out []*Answer
+	var keptSets []map[graph.NodeID]struct{}
+	for _, c := range ordered {
+		if len(out) >= k {
+			break
+		}
+		superset := false
+		for _, ks := range keptSets {
+			if len(ks) >= len(c.nodeSet) {
+				continue
+			}
+			if containsAll(c.nodeSet, ks) {
+				superset = true
+				break
+			}
+		}
+		if superset {
+			continue
+		}
+		out = append(out, c.answer)
+		keptSets = append(keptSets, c.nodeSet)
+	}
+	return out
+}
+
+func containsAll(super, sub map[graph.NodeID]struct{}) bool {
+	for v := range sub {
+		if _, ok := super[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Search runs the full two-stage algorithm: CPU-Par when p.Threads > 1, the
+// sequential baseline when p.Threads == 1.
+func Search(in Input, p Params) (*Result, error) {
+	p = p.Defaults()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	pool := newSearchPool(p.Threads)
+
+	t0 := time.Now()
+	s := newState(in, p, pool)
+	s.prof.Phases[PhaseInit] = time.Since(t0)
+
+	d, err := s.bottomUp()
+	if err != nil {
+		return nil, err
+	}
+
+	t0 = time.Now()
+	answers, err := s.topDown()
+	if err != nil {
+		return nil, err
+	}
+	s.prof.Phases[PhaseTopDown] = time.Since(t0)
+
+	return &Result{
+		Answers:           answers,
+		DepthD:            d,
+		CentralCandidates: len(s.centrals),
+		Profile:           s.prof,
+	}, nil
+}

@@ -1,0 +1,106 @@
+// Package eval implements the effectiveness methodology of §VI-B: top-k
+// precision — "the percentage of relevant answers that appear in top-k
+// results" — with the paper's manual relevance judgment replaced by a
+// mechanical restatement of what the paper reports its judges rewarded:
+//
+//   - answers carrying a node where several query keywords genuinely
+//     co-occur ("phrases appear together") are relevant;
+//   - answers stitched from isolated keyword fragments via hub nodes (the
+//     decoy pattern BANKS-II falls for: "Statistical relational learning"
+//     split across unrelated nodes) are irrelevant.
+//
+// Concretely, an answer is relevant iff it contains a *witness*: a node
+// whose text contains at least two distinct query keywords, or one of the
+// generator's planted relevant cores (which are themselves multi-keyword
+// co-occurrence nodes wired into a compact relevant neighborhood).
+package eval
+
+import (
+	"wikisearch/internal/gen"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+// Oracle judges answers for one effectiveness query.
+type Oracle struct {
+	id        string
+	witnesses map[graph.NodeID]struct{}
+}
+
+// NewOracle builds the oracle for a planted query: the witness set is the
+// union of the planted cores and every organic node where two or more
+// distinct query keywords co-occur (computed by intersecting the keywords'
+// posting lists).
+func NewOracle(p *gen.PlantedQuery, ix *text.Index) *Oracle {
+	o := &Oracle{id: p.ID, witnesses: make(map[graph.NodeID]struct{})}
+	for _, c := range p.Cores {
+		o.witnesses[c] = struct{}{}
+	}
+	if ix == nil {
+		return o
+	}
+	postings := make([][]graph.NodeID, 0, len(p.Keywords))
+	for _, kw := range p.Keywords {
+		postings = append(postings, ix.Lookup(kw))
+	}
+	for i := 0; i < len(postings); i++ {
+		for j := i + 1; j < len(postings); j++ {
+			intersectInto(postings[i], postings[j], o.witnesses)
+		}
+	}
+	return o
+}
+
+// intersectInto adds the intersection of two sorted posting lists to dst.
+func intersectInto(a, b []graph.NodeID, dst map[graph.NodeID]struct{}) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst[a[i]] = struct{}{}
+			i++
+			j++
+		}
+	}
+}
+
+// QueryID returns the query's id ("Q1" …).
+func (o *Oracle) QueryID() string { return o.id }
+
+// Witnesses returns the number of relevance witnesses.
+func (o *Oracle) Witnesses() int { return len(o.witnesses) }
+
+// Relevant judges one answer by its node set: relevant iff it contains a
+// witness.
+func (o *Oracle) Relevant(nodes []graph.NodeID) bool {
+	for _, v := range nodes {
+		if _, ok := o.witnesses[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// PrecisionAtK returns the top-k precision of a ranked answer list, each
+// answer given as its node set. Fewer than k answers are judged over the
+// answers present (the paper's convention for sparse result lists); an
+// empty list scores 0.
+func (o *Oracle) PrecisionAtK(answers [][]graph.NodeID, k int) float64 {
+	if k < len(answers) {
+		answers = answers[:k]
+	}
+	if len(answers) == 0 {
+		return 0
+	}
+	rel := 0
+	for _, a := range answers {
+		if o.Relevant(a) {
+			rel++
+		}
+	}
+	return float64(rel) / float64(len(answers))
+}

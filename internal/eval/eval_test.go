@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"wikisearch/internal/gen"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+func coreOnlyOracle() *Oracle {
+	return NewOracle(&gen.PlantedQuery{
+		ID:    "Q1",
+		Cores: []graph.NodeID{10, 11, 12},
+	}, nil)
+}
+
+func TestRelevantByCore(t *testing.T) {
+	o := coreOnlyOracle()
+	if o.QueryID() != "Q1" {
+		t.Fatalf("QueryID = %q", o.QueryID())
+	}
+	if o.Witnesses() != 3 {
+		t.Fatalf("Witnesses = %d", o.Witnesses())
+	}
+	if !o.Relevant([]graph.NodeID{1, 2, 11}) {
+		t.Fatal("answer containing a core judged irrelevant")
+	}
+	if o.Relevant([]graph.NodeID{1, 2, 3}) {
+		t.Fatal("answer with no witness judged relevant")
+	}
+	if o.Relevant(nil) {
+		t.Fatal("empty answer judged relevant")
+	}
+}
+
+func TestRelevantByOrganicCoOccurrence(t *testing.T) {
+	// Node 0 contains both keywords (witness); nodes 1 and 2 contain one
+	// each (isolated fragments).
+	b := graph.NewBuilder()
+	b.AddNode("relational database systems", "") // witness: both keywords
+	b.AddNode("relational algebra", "")          // only "relational"
+	b.AddNode("database tuning", "")             // only "database"
+	g, _ := b.Build()
+	ix := text.BuildIndex(g)
+	o := NewOracle(&gen.PlantedQuery{
+		ID:       "Qx",
+		Keywords: []string{"relational", "database"},
+	}, ix)
+	if o.Witnesses() != 1 {
+		t.Fatalf("Witnesses = %d, want 1", o.Witnesses())
+	}
+	if !o.Relevant([]graph.NodeID{0, 1}) {
+		t.Fatal("answer with the co-occurrence node judged irrelevant")
+	}
+	if o.Relevant([]graph.NodeID{1, 2}) {
+		t.Fatal("fragment-stitched answer judged relevant (the BANKS failure mode)")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	o := coreOnlyOracle()
+	answers := [][]graph.NodeID{
+		{10},    // relevant
+		{1, 2},  // not
+		{11, 3}, // relevant
+		{4},     // not
+	}
+	if p := o.PrecisionAtK(answers, 4); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P@4 = %v, want 0.5", p)
+	}
+	if p := o.PrecisionAtK(answers, 1); p != 1 {
+		t.Fatalf("P@1 = %v, want 1", p)
+	}
+	if p := o.PrecisionAtK(answers, 2); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P@2 = %v, want 0.5", p)
+	}
+	// k beyond list length judges over what exists.
+	if p := o.PrecisionAtK(answers[:1], 10); p != 1 {
+		t.Fatalf("P@10 over 1 answer = %v, want 1", p)
+	}
+	if p := o.PrecisionAtK(nil, 5); p != 0 {
+		t.Fatalf("P over empty = %v, want 0", p)
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	dst := map[graph.NodeID]struct{}{}
+	intersectInto([]graph.NodeID{1, 3, 5, 7}, []graph.NodeID{2, 3, 7, 9}, dst)
+	if len(dst) != 2 {
+		t.Fatalf("intersection = %v", dst)
+	}
+	if _, ok := dst[3]; !ok {
+		t.Fatal("missing 3")
+	}
+	if _, ok := dst[7]; !ok {
+		t.Fatal("missing 7")
+	}
+}

@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+	"wikisearch/internal/text"
+	"wikisearch/internal/weight"
+)
+
+func tinyKB(t *testing.T) *KB {
+	t.Helper()
+	return Generate(TinySim())
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TinySim())
+	b := Generate(TinySim())
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			a.Graph.NumNodes(), a.Graph.NumEdges(), b.Graph.NumNodes(), b.Graph.NumEdges())
+	}
+	for v := 0; v < a.Graph.NumNodes(); v++ {
+		if a.Graph.Label(graph.NodeID(v)) != b.Graph.Label(graph.NodeID(v)) {
+			t.Fatalf("label %d differs", v)
+		}
+		if a.Graph.Degree(graph.NodeID(v)) != b.Graph.Degree(graph.NodeID(v)) {
+			t.Fatalf("degree %d differs", v)
+		}
+	}
+	if !reflect.DeepEqual(a.Planted, b.Planted) {
+		t.Fatal("planted queries differ between runs")
+	}
+}
+
+func TestGenerateValidGraph(t *testing.T) {
+	kb := tinyKB(t)
+	if err := kb.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := TinySim().defaults()
+	if kb.Graph.NumNodes() < cfg.Nodes {
+		t.Fatalf("nodes = %d, want >= %d", kb.Graph.NumNodes(), cfg.Nodes)
+	}
+	// Degree budget roughly met (plantings add a few percent).
+	avg := float64(kb.Graph.NumEdges()) / float64(kb.Graph.NumNodes())
+	if avg < cfg.AvgDegree*0.7 || avg > cfg.AvgDegree*1.5 {
+		t.Fatalf("average degree %.2f, want ≈ %.1f", avg, cfg.AvgDegree)
+	}
+}
+
+func TestSummaryHubExists(t *testing.T) {
+	// The "human" class must be the style of superhub §IV-A describes:
+	// huge in-degree, dominated by one label.
+	kb := tinyKB(t)
+	human := kb.Classes[0]
+	if kb.Graph.Label(human) != "human" {
+		t.Fatalf("class 0 label = %q", kb.Graph.Label(human))
+	}
+	indeg := kb.Graph.InDegree(human)
+	if indeg < kb.Graph.NumNodes()/20 {
+		t.Fatalf("human in-degree %d too small for a superhub", indeg)
+	}
+	// It must also be among the heaviest nodes by Eq. 2.
+	pool := parallel.NewPool(2)
+	w := weight.Compute(kb.Graph, pool)
+	heavier := 0
+	for _, x := range w {
+		if x > w[human] {
+			heavier++
+		}
+	}
+	if heavier > kb.Graph.NumNodes()/100 {
+		t.Fatalf("human is not in the top 1%% by degree of summary (%d heavier)", heavier)
+	}
+}
+
+func TestZipfKeywordFrequencies(t *testing.T) {
+	kb := tinyKB(t)
+	ix := text.BuildIndex(kb.Graph)
+	// Head words are frequent; rare-tail words are rare (Table V's Q11).
+	freqHead := ix.Frequency("learning")
+	freqRare := ix.Frequency("wikidata")
+	if freqHead == 0 || freqRare == 0 {
+		t.Fatalf("frequencies: learning=%d wikidata=%d, both must be positive", freqHead, freqRare)
+	}
+	if freqHead < 10*freqRare {
+		t.Fatalf("head word (%d) not ≫ rare word (%d)", freqHead, freqRare)
+	}
+}
+
+func TestPlantedQueries(t *testing.T) {
+	kb := tinyKB(t)
+	if len(kb.Planted) != 11 {
+		t.Fatalf("planted %d queries, want 11", len(kb.Planted))
+	}
+	ix := text.BuildIndex(kb.Graph)
+	for _, p := range kb.Planted {
+		if len(p.Cores) != coresPerQuery || len(p.Decoys) != decoysPerQuery {
+			t.Fatalf("%s: %d cores / %d decoys", p.ID, len(p.Cores), len(p.Decoys))
+		}
+		// Every query keyword resolves in the index.
+		for _, kw := range p.Keywords {
+			if ix.Frequency(kw) == 0 {
+				t.Fatalf("%s: keyword %q has no postings", p.ID, kw)
+			}
+		}
+		// Core labels collectively cover all query keywords.
+		covered := map[string]bool{}
+		for _, c := range p.Cores {
+			label := kb.Graph.Label(c)
+			for _, kw := range p.Keywords {
+				for _, tok := range text.Normalize(label) {
+					for _, qt := range text.Normalize(kw) {
+						if tok == qt {
+							covered[kw] = true
+						}
+					}
+				}
+			}
+			// Cores must connect to the hub.
+			if !kb.Graph.HasEdge(c, p.Hub) {
+				t.Fatalf("%s: core %d not wired to hub", p.ID, c)
+			}
+		}
+		for _, kw := range p.Keywords {
+			if !covered[kw] {
+				t.Fatalf("%s: keyword %q not covered by any core", p.ID, kw)
+			}
+		}
+		// Decoys carry at least one query keyword and sit on the superhub.
+		for _, d := range p.Decoys {
+			if !kb.Graph.HasEdge(d, kb.Classes[0]) {
+				t.Fatalf("%s: decoy %d not wired to the superhub", p.ID, d)
+			}
+		}
+	}
+	if got := EffectivenessQueryIDs(); len(got) != 11 || got[0] != "Q1" || got[10] != "Q11" {
+		t.Fatalf("EffectivenessQueryIDs = %v", got)
+	}
+}
+
+func TestEfficiencyWorkload(t *testing.T) {
+	kb := tinyKB(t)
+	ix := text.BuildIndex(kb.Graph)
+	for _, knum := range []int{2, 4, 6} {
+		w := EfficiencyWorkload(kb, ix, knum, 20, 42)
+		if len(w.Queries) != 20 {
+			t.Fatalf("knum=%d: %d queries, want 20", knum, len(w.Queries))
+		}
+		for _, q := range w.Queries {
+			terms := strings.Fields(q)
+			if len(terms) != knum {
+				t.Fatalf("query %q has %d terms, want %d", q, len(terms), knum)
+			}
+			for _, term := range terms {
+				if len(ix.Lookup(term)) == 0 {
+					t.Fatalf("query term %q unresolvable", term)
+				}
+			}
+		}
+	}
+	// Deterministic in seed.
+	a := EfficiencyWorkload(kb, ix, 4, 10, 1)
+	b := EfficiencyWorkload(kb, ix, 4, 10, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("workload not deterministic")
+	}
+}
+
+func TestVocab(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVocab(500, rng)
+	if v.Size() != 500 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	// Rare tail occupies the last ranks.
+	last := v.Word(v.Size() - 1)
+	found := false
+	for _, w := range rareTail {
+		if w == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("last word %q not from rare tail", last)
+	}
+	// Zipf skew: the most frequent word is sampled far more often than a
+	// mid-rank one.
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[v.Sample(rng)]++
+	}
+	if counts[v.Word(0)] < 20*counts[v.Word(250)]/2 && counts[v.Word(0)] < 100 {
+		t.Fatalf("head word count %d not dominant (mid-rank %d)", counts[v.Word(0)], counts[v.Word(250)])
+	}
+	// SampleN distinct.
+	ws := v.SampleN(10, rng)
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w] {
+			t.Fatalf("SampleN returned duplicate %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	for _, cfg := range []Config{Wiki2017Sim(), Wiki2018Sim(), TinySim()} {
+		d := cfg.defaults()
+		if d.Nodes <= 0 || d.AvgDegree <= 0 || d.VocabSize <= 0 {
+			t.Fatalf("%s: bad defaults %+v", cfg.Name, d)
+		}
+	}
+	if Wiki2018Sim().Nodes <= Wiki2017Sim().Nodes {
+		t.Fatal("wiki2018-sim must be larger than wiki2017-sim")
+	}
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+// Workload is a set of keyword queries for the efficiency experiments.
+type Workload struct {
+	Knum    int
+	Queries []string
+}
+
+// EfficiencyWorkload samples `count` keyword queries of `knum` keywords
+// each from the KB, standing in for the paper's AAAI'14 accepted-paper
+// keyword lists: every query's keywords are drawn from one entity's
+// neighborhood so they co-occur naturally, and every keyword is guaranteed
+// to have a non-empty posting list in ix. Ultra-frequent terms (posting
+// list over ~1% of nodes) are excluded, matching the relative keyword
+// frequencies of Table V: the paper's topical AAAI keywords touch
+// 0.01–0.2% of Wikidata, never whole-vocabulary head words.
+func EfficiencyWorkload(kb *KB, ix *text.Index, knum, count int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	g := kb.Graph
+	maxPosting := g.NumNodes() / 100
+	if maxPosting < 10 {
+		maxPosting = 10
+	}
+	w := Workload{Knum: knum}
+	attempts := 0
+	for len(w.Queries) < count && attempts < count*200 {
+		attempts++
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		terms := gatherTerms(g, v, knum*3, rng)
+		// Keep resolvable terms within the frequency band.
+		kept := terms[:0]
+		for _, t := range terms {
+			n := len(ix.Lookup(t))
+			if n == 0 || n > maxPosting {
+				continue
+			}
+			kept = append(kept, t)
+			if len(kept) == knum {
+				break
+			}
+		}
+		if len(kept) < knum {
+			continue
+		}
+		w.Queries = append(w.Queries, strings.Join(kept, " "))
+	}
+	return w
+}
+
+// gatherTerms collects up to knum raw keywords from v's label, description
+// and — if needed — its neighbors'. Keywords are raw (unstemmed) tokens —
+// what a user would type — deduplicated by their normalized stem so the
+// query resolves to exactly knum BFS instances. (Raw tokens matter: Porter
+// stemming is not idempotent, so feeding stems back in as keywords would
+// re-stem them into unknown terms.)
+func gatherTerms(g *graph.Graph, v graph.NodeID, knum int, rng *rand.Rand) []string {
+	var terms []string
+	seen := map[string]struct{}{}
+	add := func(s string) {
+		for _, raw := range text.Tokenize(s) {
+			if text.IsStopword(raw) {
+				continue
+			}
+			norm := text.Normalize(raw)
+			if len(norm) == 0 {
+				continue
+			}
+			if _, dup := seen[norm[0]]; dup {
+				continue
+			}
+			seen[norm[0]] = struct{}{}
+			terms = append(terms, raw)
+		}
+	}
+	add(g.Label(v))
+	add(g.Description(v))
+	if len(terms) >= knum {
+		return terms
+	}
+	// One hop of neighbors, shuffled for variety.
+	var nbs []graph.NodeID
+	g.ForEachNeighbor(v, func(n graph.NodeID, _ graph.RelID, _ bool) {
+		nbs = append(nbs, n)
+	})
+	rng.Shuffle(len(nbs), func(i, j int) { nbs[i], nbs[j] = nbs[j], nbs[i] })
+	for _, n := range nbs {
+		add(g.Label(n))
+		if len(terms) >= knum {
+			break
+		}
+	}
+	return terms
+}

@@ -1,0 +1,144 @@
+// Package gen generates the synthetic Wikidata-like knowledge bases this
+// reproduction uses in place of the paper's wiki2017/wiki2018 dumps (see the
+// substitution table in DESIGN.md), plus the query workloads (the paper's
+// AAAI'14 keyword lists) and the planted relevance used by the
+// effectiveness experiments in place of human judgment.
+//
+// Everything is deterministic in the configured seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// baseVocab is the head of the keyword vocabulary: real CS/IR words so the
+// Table V queries and all examples read naturally. Zipf sampling makes
+// these the frequent keywords, mirroring the kwf spreads of Table V.
+var baseVocab = []string{
+	// Table V query words (Q1–Q10; the deliberately rare Q11 words live in
+	// rareTail below).
+	"xml", "relational", "search", "database", "indexing", "ranking",
+	"bayesian", "inference", "markov", "network", "statistical",
+	"learning", "sql", "rdf", "knowledge", "base", "supervised",
+	"gradient", "descent", "machine", "translation", "transfer",
+	"auxiliary", "data", "retrieval", "text", "classification", "sharing",
+	"mining", "medicine", "technique", "natural", "language", "processing",
+	// Broader CS filler.
+	"graph", "keyword", "query", "parallel", "engine", "system",
+	"distributed", "storage", "optimization", "neural", "deep",
+	"clustering", "regression", "semantic", "ontology", "entity",
+	"linking", "embedding", "vector", "matrix", "tensor", "kernel",
+	"sampling", "probabilistic", "logic", "reasoning", "planning",
+	"vision", "speech", "recognition", "generation", "summarization",
+	"recommendation", "filtering", "collaborative", "privacy",
+	"security", "cryptography", "compression", "streaming", "temporal",
+	"spatial", "crowdsourcing", "annotation", "benchmark", "evaluation",
+	"scalable", "efficient", "robust", "adaptive", "dynamic", "static",
+	"incremental", "approximate", "exact", "heuristic", "algorithm",
+	"complexity", "bound", "proof", "model", "framework", "architecture",
+	"protocol", "consensus", "replication", "transaction", "concurrency",
+	"scheduling", "caching", "partitioning", "sharding", "compiler",
+	"runtime", "virtualization", "container", "cloud", "edge", "mobile",
+	"sensor", "wireless", "energy", "hardware", "accelerator", "gpu",
+	"memory", "cache", "latency", "throughput", "bandwidth", "workload",
+}
+
+// rareTail words always take the lowest Zipf ranks, reproducing Table V's
+// Q11: keywords with tiny frequency and little ambiguity.
+var rareTail = []string{"wikidata", "freebase", "yahoo", "neo4j", "sparql"}
+
+// syllables for synthetic tail words.
+var (
+	onsets = []string{"b", "br", "c", "cr", "d", "dr", "f", "g", "gl", "k", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "t", "tr", "v", "z"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas  = []string{"", "l", "n", "r", "s", "t", "x", "ck", "nd", "rm"}
+)
+
+// Vocab is a keyword vocabulary with Zipf-distributed sampling.
+type Vocab struct {
+	words []string
+	// cumulative Zipf weights for sampling
+	cum []float64
+}
+
+// NewVocab builds a vocabulary of the given size: the real base words first,
+// then synthetic filler words, with Zipf(s≈1.07) rank weights — the shape of
+// natural-language keyword frequencies (the paper's 5M-keyword vocabulary is
+// heavily skewed).
+func NewVocab(size int, rng *rand.Rand) *Vocab {
+	if size < len(baseVocab)+len(rareTail) {
+		size = len(baseVocab) + len(rareTail)
+	}
+	words := make([]string, 0, size)
+	words = append(words, baseVocab...)
+	seen := make(map[string]struct{}, size)
+	for _, w := range words {
+		seen[w] = struct{}{}
+	}
+	for _, w := range rareTail {
+		seen[w] = struct{}{}
+	}
+	for len(words) < size-len(rareTail) {
+		w := synthWord(rng)
+		if _, dup := seen[w]; dup {
+			w = fmt.Sprintf("%s%d", w, len(words))
+		}
+		seen[w] = struct{}{}
+		words = append(words, w)
+	}
+	words = append(words, rareTail...)
+	v := &Vocab{words: words, cum: make([]float64, len(words))}
+	total := 0.0
+	for i := range words {
+		total += 1.0 / math.Pow(float64(i+1), 1.07)
+		v.cum[i] = total
+	}
+	return v
+}
+
+// Size returns the number of words.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// Word returns word i (rank order: smaller i is more frequent).
+func (v *Vocab) Word(i int) string { return v.words[i] }
+
+// Sample draws one word with Zipf probabilities.
+func (v *Vocab) Sample(rng *rand.Rand) string {
+	x := rng.Float64() * v.cum[len(v.cum)-1]
+	lo, hi := 0, len(v.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v.words[lo]
+}
+
+// SampleN draws n distinct words.
+func (v *Vocab) SampleN(n int, rng *rand.Rand) []string {
+	out := make([]string, 0, n)
+	seen := map[string]struct{}{}
+	for len(out) < n && len(seen) < v.Size() {
+		w := v.Sample(rng)
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	return out
+}
+
+func synthWord(rng *rand.Rand) string {
+	n := 2 + rng.Intn(2) // 2–3 syllables
+	w := ""
+	for i := 0; i < n; i++ {
+		w += onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))]
+	}
+	return w + codas[rng.Intn(len(codas))]
+}

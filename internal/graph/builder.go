@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and directed labeled edges and produces an
+// immutable CSR Graph. It is not safe for concurrent use.
+type Builder struct {
+	labels   []string
+	descs    []string
+	relNames []string
+	relIDs   map[string]RelID
+
+	from []NodeID
+	to   []NodeID
+	rel  []RelID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{relIDs: make(map[string]RelID)}
+}
+
+// AddNode adds a node with the given display label and description and
+// returns its id.
+func (b *Builder) AddNode(label, desc string) NodeID {
+	b.labels = append(b.labels, label)
+	b.descs = append(b.descs, desc)
+	return NodeID(len(b.labels) - 1)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.from) }
+
+// Rel interns a relationship type name and returns its id.
+func (b *Builder) Rel(name string) RelID {
+	if id, ok := b.relIDs[name]; ok {
+		return id
+	}
+	id := RelID(len(b.relNames))
+	b.relNames = append(b.relNames, name)
+	b.relIDs[name] = id
+	return id
+}
+
+// AddEdge adds a directed edge from -> to with relationship r. Endpoints
+// must already exist.
+func (b *Builder) AddEdge(from, to NodeID, r RelID) {
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	b.rel = append(b.rel, r)
+}
+
+// AddEdgeNamed is AddEdge with a relationship name, interning it on the fly.
+func (b *Builder) AddEdgeNamed(from, to NodeID, rel string) {
+	b.AddEdge(from, to, b.Rel(rel))
+}
+
+// Build constructs the CSR graph. Edges are sorted by (source, destination)
+// within each adjacency list so traversal order — and therefore every search
+// result in the engine — is deterministic.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.labels)
+	m := len(b.from)
+	for i := 0; i < m; i++ {
+		if int(b.from[i]) >= n || b.from[i] < 0 || int(b.to[i]) >= n || b.to[i] < 0 {
+			return nil, fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range [0,%d)", i, b.from[i], b.to[i], n)
+		}
+	}
+	g := &Graph{
+		labels:   b.labels,
+		descs:    b.descs,
+		relNames: b.relNames,
+	}
+	if g.relNames == nil {
+		g.relNames = []string{}
+	}
+	g.outOff, g.outDst, g.outRel = buildCSR(n, m, b.from, b.to, b.rel)
+	g.inOff, g.inSrc, g.inRel = buildCSR(n, m, b.to, b.from, b.rel)
+	return g, nil
+}
+
+// buildCSR builds one direction of adjacency via counting sort on the key
+// endpoint, then sorts each list by (value endpoint, relation).
+func buildCSR(n, m int, key, val []NodeID, rel []RelID) ([]int64, []NodeID, []RelID) {
+	off := make([]int64, n+1)
+	for _, k := range key {
+		off[k+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	dst := make([]NodeID, m)
+	rl := make([]RelID, m)
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for i := 0; i < m; i++ {
+		k := key[i]
+		p := cursor[k]
+		cursor[k]++
+		dst[p] = val[i]
+		rl[p] = rel[i]
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		seg := adjSeg{dst[lo:hi], rl[lo:hi]}
+		sort.Sort(seg)
+	}
+	return off, dst, rl
+}
+
+type adjSeg struct {
+	dst []NodeID
+	rel []RelID
+}
+
+func (s adjSeg) Len() int { return len(s.dst) }
+func (s adjSeg) Less(i, j int) bool {
+	if s.dst[i] != s.dst[j] {
+		return s.dst[i] < s.dst[j]
+	}
+	return s.rel[i] < s.rel[j]
+}
+func (s adjSeg) Swap(i, j int) {
+	s.dst[i], s.dst[j] = s.dst[j], s.dst[i]
+	s.rel[i], s.rel[j] = s.rel[j], s.rel[i]
+}
+
+// FromParts assembles a Graph directly from CSR arrays. It is used by the
+// storage loader; Validate is the caller's responsibility.
+func FromParts(outOff []int64, outDst []NodeID, outRel []RelID,
+	inOff []int64, inSrc []NodeID, inRel []RelID,
+	labels, descs, relNames []string) *Graph {
+	return &Graph{
+		outOff: outOff, outDst: outDst, outRel: outRel,
+		inOff: inOff, inSrc: inSrc, inRel: inRel,
+		labels: labels, descs: descs, relNames: relNames,
+	}
+}
+
+// Parts returns the underlying CSR arrays for serialization. The slices
+// alias internal storage and must not be modified.
+func (g *Graph) Parts() (outOff []int64, outDst []NodeID, outRel []RelID,
+	inOff []int64, inSrc []NodeID, inRel []RelID,
+	labels, descs, relNames []string) {
+	return g.outOff, g.outDst, g.outRel, g.inOff, g.inSrc, g.inRel, g.labels, g.descs, g.relNames
+}

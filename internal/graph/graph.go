@@ -1,0 +1,164 @@
+// Package graph implements the knowledge-graph substrate of the paper: a
+// bi-directed, node-weighted, node- and edge-labeled graph stored in
+// Compressed Sparse Row (CSR) form (§V-A: "We store the graph in Compressed
+// Sparse Row (CSR) format and we do not need any node distance index").
+//
+// Edges are stored directed (Wikidata statements have a direction and the
+// degree-of-summary weight of Eq. 2 depends on *in*-edges and their labels),
+// but search traverses the graph bi-directed: every edge is usable in both
+// directions, which is how the paper "enhances the connection between
+// nodes" (§III).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense, in [0, NumNodes).
+type NodeID = int32
+
+// RelID identifies a relationship (edge label / Wikidata property).
+type RelID = int32
+
+// Graph is an immutable CSR knowledge graph. Build one with a Builder or
+// load one with the storage package.
+type Graph struct {
+	// Out-CSR: outOff[v]..outOff[v+1] index into outDst/outRel.
+	outOff []int64
+	outDst []NodeID
+	outRel []RelID
+	// In-CSR (reverse adjacency), same layout.
+	inOff []int64
+	inSrc []NodeID
+	inRel []RelID
+
+	labels   []string // node display label (entity name)
+	descs    []string // node description text
+	relNames []string // relationship type names, indexed by RelID
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.outOff) - 1 }
+
+// NumEdges returns the number of stored (directed) edges.
+func (g *Graph) NumEdges() int { return len(g.outDst) }
+
+// NumRels returns the number of relationship types.
+func (g *Graph) NumRels() int { return len(g.relNames) }
+
+// Label returns the display label of v.
+func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+
+// Description returns the description text of v (may be empty).
+func (g *Graph) Description(v NodeID) string { return g.descs[v] }
+
+// RelName returns the name of relationship type r.
+func (g *Graph) RelName(r RelID) string { return g.relNames[r] }
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v NodeID) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Degree returns the bi-directed degree of v (out + in).
+func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// OutEdges returns the out-neighbor and relation slices of v. The returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) OutEdges(v NodeID) ([]NodeID, []RelID) {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	return g.outDst[lo:hi], g.outRel[lo:hi]
+}
+
+// InEdges returns the in-neighbor (source) and relation slices of v. The
+// returned slices alias internal storage and must not be modified.
+func (g *Graph) InEdges(v NodeID) ([]NodeID, []RelID) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inSrc[lo:hi], g.inRel[lo:hi]
+}
+
+// ForEachNeighbor calls fn for every bi-directed neighbor of v: first the
+// out-edges (out=true), then the in-edges (out=false). This is the traversal
+// order used by every BFS in the engine, so results are deterministic.
+func (g *Graph) ForEachNeighbor(v NodeID, fn func(n NodeID, rel RelID, out bool)) {
+	dst, rel := g.OutEdges(v)
+	for i, n := range dst {
+		fn(n, rel[i], true)
+	}
+	src, rel2 := g.InEdges(v)
+	for i, n := range src {
+		fn(n, rel2[i], false)
+	}
+}
+
+// Neighbor returns the j-th bi-directed neighbor of v (out-edges first,
+// then in-edges), its relation, and whether it is an out-edge. It lets
+// SIMT-style kernels stride over a node's adjacency by lane index; j must
+// be in [0, Degree(v)).
+func (g *Graph) Neighbor(v NodeID, j int) (NodeID, RelID, bool) {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	if int64(j) < hi-lo {
+		return g.outDst[lo+int64(j)], g.outRel[lo+int64(j)], true
+	}
+	j -= int(hi - lo)
+	lo = g.inOff[v]
+	return g.inSrc[lo+int64(j)], g.inRel[lo+int64(j)], false
+}
+
+// HasEdge reports whether a directed edge (from, to) exists with any label.
+// Neighbor lists are sorted by destination, so this is a binary search.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	dst, _ := g.OutEdges(from)
+	i := sort.Search(len(dst), func(i int) bool { return dst[i] >= to })
+	return i < len(dst) && dst[i] == to
+}
+
+// Validate checks internal CSR invariants. It is used by tests and by the
+// storage loader to reject corrupt files.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if n < 0 {
+		return fmt.Errorf("graph: negative node count")
+	}
+	if len(g.labels) != n || len(g.descs) != n {
+		return fmt.Errorf("graph: label/desc arrays sized %d/%d, want %d", len(g.labels), len(g.descs), n)
+	}
+	if len(g.inOff) != n+1 {
+		return fmt.Errorf("graph: inOff len %d, want %d", len(g.inOff), n+1)
+	}
+	if len(g.outDst) != len(g.outRel) || len(g.inSrc) != len(g.inRel) {
+		return fmt.Errorf("graph: dst/rel length mismatch")
+	}
+	if len(g.outDst) != len(g.inSrc) {
+		return fmt.Errorf("graph: out edges %d != in edges %d", len(g.outDst), len(g.inSrc))
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if g.outOff[n] != int64(len(g.outDst)) || g.inOff[n] != int64(len(g.inSrc)) {
+		return fmt.Errorf("graph: final offset mismatch")
+	}
+	for v := 0; v < n; v++ {
+		if g.outOff[v] > g.outOff[v+1] || g.inOff[v] > g.inOff[v+1] {
+			return fmt.Errorf("graph: non-monotone offsets at node %d", v)
+		}
+	}
+	nr := int32(len(g.relNames))
+	check := func(ids []NodeID, rels []RelID) error {
+		for i, d := range ids {
+			if d < 0 || int(d) >= n {
+				return fmt.Errorf("graph: edge endpoint %d out of range", d)
+			}
+			if rels[i] < 0 || rels[i] >= nr {
+				return fmt.Errorf("graph: relation id %d out of range", rels[i])
+			}
+		}
+		return nil
+	}
+	if err := check(g.outDst, g.outRel); err != nil {
+		return err
+	}
+	return check(g.inSrc, g.inRel)
+}

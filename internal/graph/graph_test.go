@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildPath returns a path graph v0 - v1 - ... - v_{n-1} with directed edges
+// v_i -> v_{i+1}.
+func buildPath(t testing.TB, n int) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	r := b.Rel("next")
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1), r)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("alpha", "first")
+	c := b.AddNode("beta", "second")
+	if b.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", b.NumNodes())
+	}
+	r1 := b.Rel("instance of")
+	r2 := b.Rel("subclass of")
+	if b.Rel("instance of") != r1 {
+		t.Fatal("Rel not interned")
+	}
+	b.AddEdge(a, c, r1)
+	b.AddEdgeNamed(c, a, "subclass of")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 || g.NumRels() != 2 {
+		t.Fatalf("got %d nodes %d edges %d rels", g.NumNodes(), g.NumEdges(), g.NumRels())
+	}
+	if g.Label(a) != "alpha" || g.Description(c) != "second" {
+		t.Fatal("labels/descs wrong")
+	}
+	if g.RelName(r2) != "subclass of" {
+		t.Fatalf("RelName = %q", g.RelName(r2))
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(a) != 1 || g.Degree(a) != 2 {
+		t.Fatalf("degrees of a: out=%d in=%d", g.OutDegree(a), g.InDegree(a))
+	}
+	if !g.HasEdge(a, c) || g.HasEdge(a, a) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBuildRejectsBadEndpoints(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("only", "")
+	b.AddEdge(0, 5, b.Rel("x"))
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted out-of-range endpoint")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+}
+
+func TestForEachNeighborBidirected(t *testing.T) {
+	// a -> b, c -> a: neighbors of a are b (out) and c (in).
+	b := NewBuilder()
+	na := b.AddNode("a", "")
+	nb := b.AddNode("b", "")
+	nc := b.AddNode("c", "")
+	b.AddEdgeNamed(na, nb, "r1")
+	b.AddEdgeNamed(nc, na, "r2")
+	g, _ := b.Build()
+	type hit struct {
+		n   NodeID
+		out bool
+	}
+	var hits []hit
+	g.ForEachNeighbor(na, func(n NodeID, _ RelID, out bool) { hits = append(hits, hit{n, out}) })
+	if len(hits) != 2 || hits[0] != (hit{nb, true}) || hits[1] != (hit{nc, false}) {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	r := b.Rel("e")
+	// Insert in reverse order; CSR must come out sorted.
+	for i := 9; i >= 1; i-- {
+		b.AddEdge(0, NodeID(i), r)
+	}
+	g, _ := b.Build()
+	dst, _ := g.OutEdges(0)
+	for i := 1; i < len(dst); i++ {
+		if dst[i-1] > dst[i] {
+			t.Fatalf("out adjacency not sorted: %v", dst)
+		}
+	}
+}
+
+func TestNeighborIndexedAccess(t *testing.T) {
+	// Neighbor(v, j) must agree with ForEachNeighbor's order for every
+	// node of a random graph (the SIMT kernels stride by index).
+	g, _ := randomGraph(t, 40, 160, 5)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		type rec struct {
+			n   NodeID
+			rel RelID
+			out bool
+		}
+		var seq []rec
+		g.ForEachNeighbor(v, func(n NodeID, rel RelID, out bool) {
+			seq = append(seq, rec{n, rel, out})
+		})
+		if len(seq) != g.Degree(v) {
+			t.Fatalf("node %d: %d neighbors enumerated, degree %d", v, len(seq), g.Degree(v))
+		}
+		for j, want := range seq {
+			n, rel, out := g.Neighbor(v, j)
+			if n != want.n || rel != want.rel || out != want.out {
+				t.Fatalf("node %d neighbor %d: got (%d,%d,%v), want (%d,%d,%v)",
+					v, j, n, rel, out, want.n, want.rel, want.out)
+			}
+		}
+	}
+}
+
+// randomGraph builds a random graph with n nodes and m edges, deterministic
+// in seed, and returns also the edge list for reference computations.
+func randomGraph(t testing.TB, n, m int, seed int64) (*Graph, [][2]NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []RelID{b.Rel("r0"), b.Rel("r1"), b.Rel("r2")}
+	var edges [][2]NodeID
+	for i := 0; i < m; i++ {
+		f := NodeID(rng.Intn(n))
+		to := NodeID(rng.Intn(n))
+		b.AddEdge(f, to, rels[rng.Intn(len(rels))])
+		edges = append(edges, [2]NodeID{f, to})
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, edges
+}
+
+func TestCSRPreservesEdgeMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 30
+		g, edges := randomGraph(t, n, 120, seed)
+		if g.Validate() != nil {
+			return false
+		}
+		// Every input edge appears in both CSRs; counts match.
+		outCount := map[[2]NodeID]int{}
+		for v := NodeID(0); int(v) < n; v++ {
+			dst, _ := g.OutEdges(v)
+			for _, d := range dst {
+				outCount[[2]NodeID{v, d}]++
+			}
+			src, _ := g.InEdges(v)
+			for _, s := range src {
+				outCount[[2]NodeID{s, v}]--
+			}
+		}
+		for _, c := range outCount {
+			if c != 0 {
+				return false
+			}
+		}
+		want := map[[2]NodeID]int{}
+		for _, e := range edges {
+			want[e]++
+		}
+		got := map[[2]NodeID]int{}
+		for v := NodeID(0); int(v) < n; v++ {
+			dst, _ := g.OutEdges(v)
+			for _, d := range dst {
+				got[[2]NodeID{v, d}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSumsEqualEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _ := randomGraph(t, 25, 80, seed)
+		sumOut, sumIn := 0, 0
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			sumOut += g.OutDegree(v)
+			sumIn += g.InDegree(v)
+		}
+		return sumOut == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

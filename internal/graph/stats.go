@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Distance returns the bi-directed unweighted shortest distance between s
+// and t, or -1 if t is unreachable from s. It runs a bidirectional BFS,
+// which is what makes sampling 10,000 pairs on a multi-million-edge graph
+// cheap (the paper samples pairs to estimate the average distance A used by
+// the Penalty-and-Reward mapping, Table II).
+func (g *Graph) Distance(s, t NodeID) int {
+	if s == t {
+		return 0
+	}
+	n := g.NumNodes()
+	distS := make([]int32, n)
+	distT := make([]int32, n)
+	for i := range distS {
+		distS[i] = -1
+		distT[i] = -1
+	}
+	distS[s], distT[t] = 0, 0
+	frontS := []NodeID{s}
+	frontT := []NodeID{t}
+	depthS, depthT := int32(0), int32(0)
+	best := -1
+	for len(frontS) > 0 && len(frontT) > 0 {
+		// Expand the smaller frontier.
+		if frontierCost(g, frontS) <= frontierCost(g, frontT) {
+			next, meet := expandFrontier(g, frontS, distS, distT, depthS)
+			if meet >= 0 && (best < 0 || meet < best) {
+				best = meet
+			}
+			frontS, depthS = next, depthS+1
+		} else {
+			next, meet := expandFrontier(g, frontT, distT, distS, depthT)
+			if meet >= 0 && (best < 0 || meet < best) {
+				best = meet
+			}
+			frontT, depthT = next, depthT+1
+		}
+		if best >= 0 && int(depthS+depthT) >= best {
+			return best
+		}
+	}
+	return best
+}
+
+func frontierCost(g *Graph, f []NodeID) int {
+	c := 0
+	for _, v := range f {
+		c += g.Degree(v)
+	}
+	return c
+}
+
+// expandFrontier advances one BFS level. dist is the side being expanded,
+// other the opposite side; returns the next frontier and the best meeting
+// distance found at this level (-1 if none).
+func expandFrontier(g *Graph, front []NodeID, dist, other []int32, depth int32) ([]NodeID, int) {
+	var next []NodeID
+	meet := -1
+	for _, v := range front {
+		g.ForEachNeighbor(v, func(n NodeID, _ RelID, _ bool) {
+			if dist[n] >= 0 {
+				return
+			}
+			dist[n] = depth + 1
+			if other[n] >= 0 {
+				d := int(depth + 1 + other[n])
+				if meet < 0 || d < meet {
+					meet = d
+				}
+			}
+			next = append(next, n)
+		})
+	}
+	return next, meet
+}
+
+// DistanceSample holds the result of sampled average-distance estimation
+// (the A and Deviation columns of Table II).
+type DistanceSample struct {
+	Pairs     int     // pairs requested
+	Reachable int     // pairs with a finite distance
+	Mean      float64 // average shortest distance A over reachable pairs
+	Deviation float64 // population standard deviation over reachable pairs
+}
+
+// SampleAverageDistance estimates the average shortest distance between two
+// random nodes by sampling `pairs` node pairs with the given rng, matching
+// the paper's methodology ("We sample ten thousand pairs of nodes to
+// estimate the average shortest distances").
+func SampleAverageDistance(g *Graph, pairs int, rng *rand.Rand) DistanceSample {
+	n := g.NumNodes()
+	res := DistanceSample{Pairs: pairs}
+	if n < 2 || pairs <= 0 {
+		return res
+	}
+	var sum, sumSq float64
+	for i := 0; i < pairs; i++ {
+		s := NodeID(rng.Intn(n))
+		t := NodeID(rng.Intn(n))
+		if s == t {
+			t = NodeID((int(t) + 1) % n)
+		}
+		d := g.Distance(s, t)
+		if d < 0 {
+			continue
+		}
+		res.Reachable++
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	if res.Reachable > 0 {
+		res.Mean = sum / float64(res.Reachable)
+		variance := sumSq/float64(res.Reachable) - res.Mean*res.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		res.Deviation = math.Sqrt(variance)
+	}
+	return res
+}
+
+// BFSDistances returns the bi-directed BFS distance from each of the given
+// sources to every node (-1 when unreachable). Used by tests as a reference
+// implementation and by the relevance oracle.
+func BFSDistances(g *Graph, sources ...NodeID) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []NodeID
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.ForEachNeighbor(v, func(n NodeID, _ RelID, _ bool) {
+			if dist[n] < 0 {
+				dist[n] = dist[v] + 1
+				queue = append(queue, n)
+			}
+		})
+	}
+	return dist
+}
+
+// Components labels each node with a connected-component id (bi-directed)
+// and returns the labels and the component count.
+func Components(g *Graph) ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	var stack []NodeID
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = next
+		stack = append(stack[:0], NodeID(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.ForEachNeighbor(u, func(w NodeID, _ RelID, _ bool) {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			})
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// LargestComponent returns the nodes of the largest connected component.
+func LargestComponent(g *Graph) []NodeID {
+	comp, k := Components(g)
+	if k == 0 {
+		return nil
+	}
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	bestC, bestN := 0, 0
+	for c, s := range sizes {
+		if s > bestN {
+			bestC, bestN = c, s
+		}
+	}
+	out := make([]NodeID, 0, bestN)
+	for v, c := range comp {
+		if int(c) == bestC {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

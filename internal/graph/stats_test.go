@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancePath(t *testing.T) {
+	g := buildPath(t, 10)
+	cases := []struct {
+		s, tt NodeID
+		want  int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 9, 9}, {9, 0, 9}, {3, 7, 4},
+	}
+	for _, c := range cases {
+		if got := g.Distance(c.s, c.tt); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.s, c.tt, got, c.want)
+		}
+	}
+}
+
+func TestDistanceUnreachable(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a", "")
+	b.AddNode("b", "")
+	g, _ := b.Build()
+	if got := g.Distance(0, 1); got != -1 {
+		t.Fatalf("Distance across components = %d, want -1", got)
+	}
+}
+
+func TestDistanceMatchesBFSReference(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _ := randomGraph(t, 40, 70, seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		for trial := 0; trial < 10; trial++ {
+			s := NodeID(rng.Intn(g.NumNodes()))
+			dist := BFSDistances(g, s)
+			tt := NodeID(rng.Intn(g.NumNodes()))
+			got := g.Distance(s, tt)
+			if int32(got) != dist[tt] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	// Bi-directed distance must be symmetric.
+	f := func(seed int64) bool {
+		g, _ := randomGraph(t, 30, 50, seed)
+		rng := rand.New(rand.NewSource(seed ^ 7))
+		for trial := 0; trial < 8; trial++ {
+			s := NodeID(rng.Intn(g.NumNodes()))
+			tt := NodeID(rng.Intn(g.NumNodes()))
+			if g.Distance(s, tt) != g.Distance(tt, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleAverageDistance(t *testing.T) {
+	g := buildPath(t, 50)
+	s := SampleAverageDistance(g, 500, rand.New(rand.NewSource(1)))
+	if s.Reachable != 500 {
+		t.Fatalf("Reachable = %d, want 500", s.Reachable)
+	}
+	// Expected average distance on a path of n nodes is about n/3.
+	if s.Mean < 10 || s.Mean > 24 {
+		t.Fatalf("Mean = %.2f, outside plausible range for a 50-path", s.Mean)
+	}
+	if s.Deviation <= 0 {
+		t.Fatalf("Deviation = %.2f, want > 0", s.Deviation)
+	}
+}
+
+func TestSampleAverageDistanceDegenerate(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("only", "")
+	g, _ := b.Build()
+	s := SampleAverageDistance(g, 100, rand.New(rand.NewSource(1)))
+	if s.Reachable != 0 || s.Mean != 0 {
+		t.Fatalf("degenerate sample = %+v", s)
+	}
+	s = SampleAverageDistance(buildPath(t, 5), 0, rand.New(rand.NewSource(1)))
+	if s.Pairs != 0 || s.Reachable != 0 {
+		t.Fatalf("zero-pair sample = %+v", s)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddNode("n", "")
+	}
+	r := b.Rel("e")
+	b.AddEdge(0, 1, r)
+	b.AddEdge(1, 2, r)
+	b.AddEdge(3, 4, r)
+	g, _ := b.Build()
+	comp, k := Components(g)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component labels wrong")
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+}
+
+func TestBFSDistancesMultiSource(t *testing.T) {
+	g := buildPath(t, 9)
+	dist := BFSDistances(g, 0, 8)
+	want := []int32{0, 1, 2, 3, 4, 3, 2, 1, 0}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], w)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package gst
+
+import (
+	"fmt"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+// BenchmarkDPBFVaryL demonstrates the exponential-in-l complexity the
+// paper quotes for [7] — O(3^l·n + 2^l·((l+log n)·n+m)) — and uses as the
+// argument against exact GST methods at interactive latency: wall time per
+// query grows sharply with the number of keyword groups.
+func BenchmarkDPBFVaryL(b *testing.B) {
+	g, w := randomGraph(b, 2000, 10000, 31)
+	for _, l := range []int{2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			groups := make([][]graph.NodeID, l)
+			for i := range groups {
+				groups[i] = []graph.NodeID{graph.NodeID(i * 17), graph.NodeID(i*31 + 5)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Search(g, w, groups, Options{K: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package gst implements DPBF — the parameterized dynamic program of Ding
+// et al., "Finding top-k min-cost connected trees in databases" (ICDE'07),
+// the paper's reference [7] — which solves the Group Steiner Tree problem
+// exactly in O(3^l·n + 2^l·((l+log n)·n+m)) time.
+//
+// The paper uses [7] as the yardstick exact method that "is effective when
+// the number of keywords is small, but is not very scalable in terms of
+// the number of keywords"; this implementation exists to (a) provide exact
+// optima that the BANKS baselines and tests can be validated against, and
+// (b) let the benchmark harness demonstrate the exponential-in-l blowup
+// that motivates the paper's Central Graph model.
+//
+// State: cost(v, S) = the minimum cost of a tree rooted at v covering the
+// keyword subset S. Transitions: edge growth (re-root to a neighbor) and
+// tree merge (two trees at the same root with disjoint keyword sets).
+// States are processed in cost order from a priority queue, so the first
+// time (v, full) pops its cost is the optimum for root v.
+//
+// Edge costs are root-independent (a requirement for the DP's soundness):
+// cost(u,v) = 1 + (w(u)+w(v))/2, the symmetric analogue of the engine's
+// node-entry costs — summary hubs make trees expensive on whichever side
+// they sit.
+package gst
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"wikisearch/internal/graph"
+)
+
+// MaxKeywords bounds l; the DP state space is n·2^l.
+const MaxKeywords = 12
+
+// Options configures a DPBF run.
+type Options struct {
+	// K is the number of answer trees (distinct roots) to return.
+	K int
+	// MaxStates caps queue pops as a safety valve; 0 means no cap.
+	MaxStates int
+}
+
+// Tree is one exact answer: a minimum-cost connected tree covering every
+// keyword group.
+type Tree struct {
+	Root  graph.NodeID
+	Cost  float64
+	Nodes []graph.NodeID
+	// Edges are (child, parent) pairs of the tree, oriented toward the root.
+	Edges [][2]graph.NodeID
+}
+
+// Result carries the answers and search-effort counters.
+type Result struct {
+	Trees  []Tree
+	Popped int // states processed
+}
+
+type state struct {
+	v    graph.NodeID
+	set  uint32
+	cost float64
+}
+
+type pq []state
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].cost < p[j].cost }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(state)) }
+func (p *pq) Pop() any          { o := *p; n := len(o); s := o[n-1]; *p = o[:n-1]; return s }
+
+type parentKind uint8
+
+const (
+	kindSource parentKind = iota
+	kindGrow
+	kindMerge
+)
+
+// parent records how a state's best cost was reached, for reconstruction.
+type parent struct {
+	kind     parentKind
+	fromV    graph.NodeID // grow: the previous root
+	fromSet  uint32       // grow: previous state's set; merge: first half
+	otherSet uint32       // merge: second half
+}
+
+// EdgeCost is the symmetric tree edge cost between u and v.
+func EdgeCost(weights []float64, u, v graph.NodeID) float64 {
+	return 1 + (weights[u]+weights[v])/2
+}
+
+// Search runs DPBF over the bi-directed graph.
+func Search(g *graph.Graph, weights []float64, sources [][]graph.NodeID, opts Options) (*Result, error) {
+	l := len(sources)
+	if l == 0 {
+		return nil, fmt.Errorf("gst: no keyword groups")
+	}
+	if l > MaxKeywords {
+		return nil, fmt.Errorf("gst: %d keyword groups exceeds maximum %d (state space is n·2^l)", l, MaxKeywords)
+	}
+	if opts.K <= 0 {
+		opts.K = 1
+	}
+	full := uint32(1)<<uint(l) - 1
+
+	cost := map[uint64]float64{}
+	parents := map[uint64]parent{}
+	settled := map[uint64]bool{}
+	key := func(v graph.NodeID, s uint32) uint64 { return uint64(v)<<uint(l) | uint64(s) }
+
+	var q pq
+	push := func(v graph.NodeID, s uint32, c float64, p parent) {
+		k := key(v, s)
+		if old, ok := cost[k]; ok && old <= c {
+			return
+		}
+		cost[k] = c
+		parents[k] = p
+		heap.Push(&q, state{v, s, c})
+	}
+
+	for i, src := range sources {
+		for _, v := range src {
+			push(v, uint32(1)<<uint(i), 0, parent{kind: kindSource})
+		}
+	}
+
+	res := &Result{}
+	foundRoots := map[graph.NodeID]bool{}
+
+	for q.Len() > 0 {
+		if opts.MaxStates > 0 && res.Popped >= opts.MaxStates {
+			break
+		}
+		st := heap.Pop(&q).(state)
+		k := key(st.v, st.set)
+		if settled[k] || st.cost > cost[k] {
+			continue
+		}
+		settled[k] = true
+		res.Popped++
+
+		if st.set == full && !foundRoots[st.v] {
+			foundRoots[st.v] = true
+			tr := buildTree(st.v, st.set, parents, l)
+			tr.Cost = st.cost
+			res.Trees = append(res.Trees, tr)
+			if len(res.Trees) >= opts.K {
+				break
+			}
+		}
+
+		// Edge growth: re-root the tree at each neighbor.
+		g.ForEachNeighbor(st.v, func(u graph.NodeID, _ graph.RelID, _ bool) {
+			push(u, st.set, st.cost+EdgeCost(weights, st.v, u), parent{
+				kind: kindGrow, fromV: st.v, fromSet: st.set,
+			})
+		})
+		// Tree merge: combine with settled disjoint subsets at this root.
+		rest := full &^ st.set
+		for sub := rest; sub > 0; sub = (sub - 1) & rest {
+			ok := key(st.v, sub)
+			if c2, have := cost[ok]; have && settled[ok] {
+				push(st.v, st.set|sub, st.cost+c2, parent{
+					kind: kindMerge, fromSet: st.set, otherSet: sub,
+				})
+			}
+		}
+	}
+	sort.Slice(res.Trees, func(i, j int) bool {
+		if res.Trees[i].Cost != res.Trees[j].Cost {
+			return res.Trees[i].Cost < res.Trees[j].Cost
+		}
+		return res.Trees[i].Root < res.Trees[j].Root
+	})
+	return res, nil
+}
+
+// buildTree reconstructs the tree of state (root, set) from parent records.
+func buildTree(root graph.NodeID, set uint32, parents map[uint64]parent, l int) Tree {
+	key := func(v graph.NodeID, s uint32) uint64 { return uint64(v)<<uint(l) | uint64(s) }
+	nodes := map[graph.NodeID]bool{}
+	var edges [][2]graph.NodeID
+	var walk func(v graph.NodeID, s uint32)
+	walk = func(v graph.NodeID, s uint32) {
+		nodes[v] = true
+		p := parents[key(v, s)]
+		switch p.kind {
+		case kindGrow:
+			edges = append(edges, [2]graph.NodeID{p.fromV, v})
+			walk(p.fromV, p.fromSet)
+		case kindMerge:
+			walk(v, p.fromSet)
+			walk(v, p.otherSet)
+		case kindSource:
+		}
+	}
+	walk(root, set)
+	t := Tree{Root: root, Edges: edges}
+	t.Nodes = make([]graph.NodeID, 0, len(nodes))
+	for v := range nodes {
+		t.Nodes = append(t.Nodes, v)
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+	return t
+}
+
+// OptimalCost returns the exact minimum Group Steiner Tree cost, or +Inf
+// when the groups cannot be connected.
+func OptimalCost(g *graph.Graph, weights []float64, sources [][]graph.NodeID) (float64, error) {
+	res, err := Search(g, weights, sources, Options{K: 1})
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Trees) == 0 {
+		return math.Inf(1), nil
+	}
+	return res.Trees[0].Cost, nil
+}

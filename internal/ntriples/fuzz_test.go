@@ -1,0 +1,47 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the N-Triples parser: it must never
+// panic, and on success the resulting graph must validate.
+func FuzzRead(f *testing.F) {
+	f.Add(sample)
+	f.Add(`<http://a> <http://b> <http://c> .`)
+	f.Add(`<http://a> <http://b> "lit"@en .`)
+	f.Add(`_:x <http://b> "esc \" \\ A"^^<http://t> .`)
+	f.Add("# only a comment\n")
+	f.Add(`<http://a> <http://b> "\U0001F600" .`)
+	f.Fuzz(func(t *testing.T, input string) {
+		im := NewImporter()
+		if err := im.Read(strings.NewReader(input)); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		g, _, err := im.Build()
+		if err != nil {
+			t.Fatalf("Read accepted but Build failed: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("imported graph invalid: %v", err)
+		}
+	})
+}
+
+// FuzzUnescape: the escape decoder must never panic and must round-trip
+// pure-ASCII escape-free strings.
+func FuzzUnescape(f *testing.F) {
+	f.Add(`plain`)
+	f.Add(`a\tb\nc\"d\\e`)
+	f.Add(`A\U0001F600`)
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := unescape(s)
+		if err != nil {
+			return
+		}
+		if !strings.ContainsRune(s, '\\') && out != s {
+			t.Fatalf("escape-free input changed: %q -> %q", s, out)
+		}
+	})
+}

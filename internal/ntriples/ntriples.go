@@ -1,0 +1,381 @@
+// Package ntriples imports RDF N-Triples data into the knowledge-graph
+// builder. The paper observes that Wikidata, Freebase and Yago "can all be
+// represented in an RDF graph" (§I); this package is the bridge from such
+// exports to the engine:
+//
+//   - triples whose object is an IRI or blank node become directed labeled
+//     edges (predicate = relationship type),
+//   - rdfs:label / skos:prefLabel / schema:name literals become node labels,
+//   - schema:description / rdfs:comment literals become node descriptions,
+//   - other literal-object triples are skipped (the engine indexes entity
+//     text, not datatype values),
+//   - language-tagged literals keep only the tag-less or English variants.
+//
+// The parser handles the line-oriented N-Triples grammar (W3C RDF 1.1
+// N-Triples): IRIREF, blank node labels, literals with escapes, datatype
+// and language annotations, comments and blank lines.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wikisearch/internal/graph"
+)
+
+// Common predicate IRIs treated as text rather than edges.
+var (
+	labelPredicates = map[string]bool{
+		"http://www.w3.org/2000/01/rdf-schema#label":    true,
+		"http://www.w3.org/2004/02/skos/core#prefLabel": true,
+		"http://schema.org/name":                        true,
+	}
+	descPredicates = map[string]bool{
+		"http://schema.org/description":                true,
+		"http://www.w3.org/2000/01/rdf-schema#comment": true,
+	}
+)
+
+// Stats summarizes one import.
+type Stats struct {
+	Triples     int // triples parsed
+	Edges       int // object-property triples turned into edges
+	Labels      int // label literals applied
+	Descs       int // description literals applied
+	SkippedLits int // other literal triples ignored
+	SkippedLang int // literals dropped for a non-English language tag
+}
+
+// term is one parsed RDF term.
+type term struct {
+	kind  termKind
+	value string // IRI, blank label, or literal lexical form
+	lang  string // language tag, lower-cased
+}
+
+type termKind int
+
+const (
+	termIRI termKind = iota
+	termBlank
+	termLiteral
+)
+
+// Importer accumulates triples into a graph builder, interning subjects and
+// objects as nodes.
+type Importer struct {
+	b     *graph.Builder
+	nodes map[string]graph.NodeID
+	// text accumulated before Build: labels/descriptions by node.
+	labels map[graph.NodeID]string
+	descs  map[graph.NodeID]string
+	stats  Stats
+}
+
+// NewImporter returns an empty importer.
+func NewImporter() *Importer {
+	return &Importer{
+		b:      graph.NewBuilder(),
+		nodes:  map[string]graph.NodeID{},
+		labels: map[graph.NodeID]string{},
+		descs:  map[graph.NodeID]string{},
+	}
+}
+
+// node interns an IRI or blank label as a graph node.
+func (im *Importer) node(key string) graph.NodeID {
+	if id, ok := im.nodes[key]; ok {
+		return id
+	}
+	id := im.b.AddNode(localName(key), "")
+	im.nodes[key] = id
+	return id
+}
+
+// localName derives a readable fallback label from an IRI (its fragment or
+// last path segment) so unlabeled entities still render.
+func localName(iri string) string {
+	s := iri
+	if i := strings.LastIndexAny(s, "#/"); i >= 0 && i+1 < len(s) {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// Read consumes an N-Triples stream. Malformed lines abort with an error
+// naming the line number.
+func (im *Importer) Read(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := im.line(line); err != nil {
+			return fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (im *Importer) line(line string) error {
+	p := parser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return err
+	}
+	if subj.kind == termLiteral {
+		return fmt.Errorf("literal subject")
+	}
+	pred, err := p.term()
+	if err != nil {
+		return err
+	}
+	if pred.kind != termIRI {
+		return fmt.Errorf("predicate must be an IRI")
+	}
+	obj, err := p.term()
+	if err != nil {
+		return err
+	}
+	if err := p.dot(); err != nil {
+		return err
+	}
+	im.stats.Triples++
+
+	s := im.node(subjectKey(subj))
+	switch obj.kind {
+	case termIRI, termBlank:
+		o := im.node(subjectKey(obj))
+		im.b.AddEdgeNamed(s, o, localName(pred.value))
+		im.stats.Edges++
+	case termLiteral:
+		if obj.lang != "" && obj.lang != "en" && !strings.HasPrefix(obj.lang, "en-") {
+			im.stats.SkippedLang++
+			return nil
+		}
+		switch {
+		case labelPredicates[pred.value]:
+			if im.labels[s] == "" {
+				im.labels[s] = obj.value
+				im.stats.Labels++
+			}
+		case descPredicates[pred.value]:
+			if im.descs[s] == "" {
+				im.descs[s] = obj.value
+				im.stats.Descs++
+			}
+		default:
+			im.stats.SkippedLits++
+		}
+	}
+	return nil
+}
+
+func subjectKey(t term) string {
+	if t.kind == termBlank {
+		return "_:" + t.value
+	}
+	return t.value
+}
+
+// Build assembles the graph; labels and descriptions recorded from literals
+// replace the IRI-derived fallbacks.
+func (im *Importer) Build() (*graph.Graph, Stats, error) {
+	// The builder holds fallback labels; rebuild with final text. Builder
+	// has no setter, so assemble a fresh one in id order.
+	final := graph.NewBuilder()
+	inv := make([]string, im.b.NumNodes())
+	for key, id := range im.nodes {
+		inv[id] = key
+	}
+	for id, key := range inv {
+		label := im.labels[graph.NodeID(id)]
+		if label == "" {
+			label = localName(key)
+		}
+		final.AddNode(label, im.descs[graph.NodeID(id)])
+	}
+	g, err := im.b.Build() // validates endpoints
+	if err != nil {
+		return nil, im.stats, err
+	}
+	// Re-add edges into the relabeled builder.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		dst, rels := g.OutEdges(v)
+		for i, d := range dst {
+			final.AddEdgeNamed(v, d, g.RelName(rels[i]))
+		}
+	}
+	out, err := final.Build()
+	return out, im.stats, err
+}
+
+// parser is a minimal N-Triples term scanner.
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) ws() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *parser) term() (term, error) {
+	p.ws()
+	if p.i >= len(p.s) {
+		return term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	}
+	return term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+}
+
+func (p *parser) iri() (term, error) {
+	end := strings.IndexByte(p.s[p.i:], '>')
+	if end < 0 {
+		return term{}, fmt.Errorf("unterminated IRI")
+	}
+	v := p.s[p.i+1 : p.i+end]
+	p.i += end + 1
+	return term{kind: termIRI, value: v}, nil
+}
+
+func (p *parser) blank() (term, error) {
+	if !strings.HasPrefix(p.s[p.i:], "_:") {
+		return term{}, fmt.Errorf("malformed blank node")
+	}
+	j := p.i + 2
+	for j < len(p.s) && p.s[j] != ' ' && p.s[j] != '\t' && p.s[j] != '.' {
+		j++
+	}
+	if j == p.i+2 {
+		return term{}, fmt.Errorf("empty blank node label")
+	}
+	v := p.s[p.i+2 : j]
+	p.i = j
+	return term{kind: termBlank, value: v}, nil
+}
+
+func (p *parser) literal() (term, error) {
+	// Find the closing quote, honoring backslash escapes.
+	j := p.i + 1
+	for j < len(p.s) {
+		if p.s[j] == '\\' {
+			j += 2
+			continue
+		}
+		if p.s[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(p.s) {
+		return term{}, fmt.Errorf("unterminated literal")
+	}
+	raw := p.s[p.i+1 : j]
+	p.i = j + 1
+	val, err := unescape(raw)
+	if err != nil {
+		return term{}, err
+	}
+	t := term{kind: termLiteral, value: val}
+	// Optional language tag or datatype.
+	if p.i < len(p.s) && p.s[p.i] == '@' {
+		k := p.i + 1
+		for k < len(p.s) && p.s[k] != ' ' && p.s[k] != '\t' && p.s[k] != '.' {
+			k++
+		}
+		t.lang = strings.ToLower(p.s[p.i+1 : k])
+		if t.lang == "" {
+			return term{}, fmt.Errorf("empty language tag")
+		}
+		p.i = k
+	} else if strings.HasPrefix(p.s[p.i:], "^^") {
+		p.i += 2
+		if _, err := p.iri(); err != nil {
+			return term{}, fmt.Errorf("malformed datatype: %w", err)
+		}
+	}
+	return t, nil
+}
+
+func (p *parser) dot() error {
+	p.ws()
+	if p.i >= len(p.s) || p.s[p.i] != '.' {
+		return fmt.Errorf("missing terminating '.'")
+	}
+	p.i++
+	p.ws()
+	if p.i != len(p.s) && !strings.HasPrefix(p.s[p.i:], "#") {
+		return fmt.Errorf("trailing garbage after '.'")
+	}
+	return nil
+}
+
+// unescape decodes N-Triples string escapes (\t \n \r \" \\ \uXXXX \UXXXXXXXX).
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("dangling escape")
+		}
+		switch s[i+1] {
+		case 't':
+			b.WriteByte('\t')
+			i += 2
+		case 'n':
+			b.WriteByte('\n')
+			i += 2
+		case 'r':
+			b.WriteByte('\r')
+			i += 2
+		case '"':
+			b.WriteByte('"')
+			i += 2
+		case '\\':
+			b.WriteByte('\\')
+			i += 2
+		case 'u', 'U':
+			size := 4
+			if s[i+1] == 'U' {
+				size = 8
+			}
+			if i+2+size > len(s) {
+				return "", fmt.Errorf("truncated \\%c escape", s[i+1])
+			}
+			code, err := strconv.ParseUint(s[i+2:i+2+size], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad \\%c escape: %v", s[i+1], err)
+			}
+			b.WriteRune(rune(code))
+			i += 2 + size
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i+1])
+		}
+	}
+	return b.String(), nil
+}

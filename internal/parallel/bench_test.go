@@ -1,0 +1,57 @@
+package parallel
+
+import "testing"
+
+func BenchmarkBitsetSet(b *testing.B) {
+	s := NewBitset(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & ((1 << 20) - 1))
+	}
+}
+
+func BenchmarkBitsetAppendSet(b *testing.B) {
+	s := NewBitset(1 << 20)
+	for i := 0; i < 1<<20; i += 37 {
+		s.Set(i)
+	}
+	buf := make([]int32, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendSet(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty")
+	}
+}
+
+func BenchmarkByteArraySet(b *testing.B) {
+	a := NewByteArray(1<<20, Infinity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Set(i&((1<<20)-1), 3)
+	}
+}
+
+func BenchmarkByteArrayGet(b *testing.B) {
+	a := NewByteArray(1<<20, Infinity)
+	var sink byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += a.Get(i & ((1 << 20) - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkPoolFor(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "T1", 4: "T4", 16: "T16"}[workers], func(b *testing.B) {
+			p := NewPool(workers)
+			out := make([]int64, 1<<14)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(len(out), func(j int) { out[j] = int64(j) * 3 })
+			}
+		})
+	}
+}

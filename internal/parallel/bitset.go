@@ -1,0 +1,97 @@
+// Package parallel provides the low-level concurrency primitives used by the
+// two-stage search: atomic bitsets for the FIdentifier / CIdentifier arrays,
+// a dynamically scheduled worker pool mirroring OpenMP's dynamic schedule,
+// and lock-free byte stores for the node-keyword matrix.
+//
+// The paper's lock-free argument (Theorem V.2) relies on all concurrent
+// writes to a location writing the same value (1 into FIdentifier, l+1 into
+// M). In Go, concurrent plain writes of identical values are still data races
+// under the memory model, so the bitset and matrix use atomic operations with
+// relaxed semantics via sync/atomic; the level barrier (fork/join between
+// phases) provides the required happens-before edges between levels.
+package parallel
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-size bitset safe for concurrent Set/Get. All mutating
+// operations other than Set/Clear assume exclusive access (they are called
+// only between phases, under the level barrier).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a Bitset capable of holding n bits, all zero.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits the set holds.
+func (b *Bitset) Len() int { return b.n }
+
+// Set atomically sets bit i. Safe for concurrent use.
+func (b *Bitset) Set(i int) {
+	atomic.OrUint64(&b.words[i/wordBits], 1<<(uint(i)%wordBits))
+}
+
+// Clear atomically clears bit i. Safe for concurrent use.
+func (b *Bitset) Clear(i int) {
+	atomic.AndUint64(&b.words[i/wordBits], ^(uint64(1) << (uint(i) % wordBits)))
+}
+
+// Get reports whether bit i is set. Safe for concurrent use with Set/Clear
+// on other bits; reads of a concurrently-written bit are linearized by the
+// atomic load.
+func (b *Bitset) Get(i int) bool {
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset zeroes the whole set. Requires exclusive access.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits. Requires exclusive access.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AppendSet appends the indices of all set bits to dst and returns it.
+// Requires exclusive access. This is the sequential frontier-enqueue step of
+// Algorithm 1 ("on CPU locked writing is so expensive and the fastest way is
+// to enqueue frontiers in a sequential manner").
+func (b *Bitset) AppendSet(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, base+int32(tz))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEachSet calls fn for every set bit in ascending order. Requires
+// exclusive access.
+func (b *Bitset) ForEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}

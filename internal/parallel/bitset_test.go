@@ -1,0 +1,203 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}
+
+func TestBitsetAppendSetOrdered(t *testing.T) {
+	b := NewBitset(1000)
+	want := []int32{0, 3, 63, 64, 65, 500, 999}
+	for _, i := range want {
+		b.Set(int(i))
+	}
+	got := b.AppendSet(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendSet returned %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSet[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsetForEachSetMatchesAppendSet(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitset(1 << 16)
+		for _, i := range idxs {
+			b.Set(int(i))
+		}
+		var viaForEach []int32
+		b.ForEachSet(func(i int) { viaForEach = append(viaForEach, int32(i)) })
+		viaAppend := b.AppendSet(nil)
+		if len(viaForEach) != len(viaAppend) {
+			return false
+		}
+		for i := range viaAppend {
+			if viaAppend[i] != viaForEach[i] {
+				return false
+			}
+		}
+		// Both must equal the sorted unique input.
+		uniq := map[uint16]bool{}
+		for _, i := range idxs {
+			uniq[i] = true
+		}
+		if len(uniq) != len(viaAppend) {
+			return false
+		}
+		return sort.SliceIsSorted(viaAppend, func(a, b int) bool { return viaAppend[a] < viaAppend[b] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetConcurrentSet(t *testing.T) {
+	const n = 1 << 14
+	b := NewBitset(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				b.Set(r.Intn(n))
+			}
+		}(int64(g))
+	}
+	// Concurrently set every multiple of 7 so we can verify none are lost.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 7 {
+			b.Set(i)
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < n; i += 7 {
+		if !b.Get(i) {
+			t.Fatalf("lost concurrent Set of bit %d", i)
+		}
+	}
+}
+
+func TestByteArray(t *testing.T) {
+	a := NewByteArray(10, Infinity)
+	for i := 0; i < 10; i++ {
+		if a.Get(i) != Infinity {
+			t.Fatalf("cell %d = %d, want Infinity", i, a.Get(i))
+		}
+	}
+	a.Set(3, 7)
+	a.Set(4, 9) // same word as 3: must not disturb
+	if a.Get(3) != 7 || a.Get(4) != 9 {
+		t.Fatalf("Get(3)=%d Get(4)=%d, want 7,9", a.Get(3), a.Get(4))
+	}
+	if a.Get(5) != Infinity {
+		t.Fatal("neighbor cell disturbed")
+	}
+	a.Fill(0)
+	for i := 0; i < 10; i++ {
+		if a.Get(i) != 0 {
+			t.Fatalf("cell %d = %d after Fill(0)", i, a.Get(i))
+		}
+	}
+}
+
+func TestByteArrayConcurrentDistinctCells(t *testing.T) {
+	const n = 4096
+	a := NewByteArray(n, Infinity)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 4 {
+				a.Set(i, byte(i%251))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if a.Get(i) != byte(i%251) {
+			t.Fatalf("cell %d = %d, want %d (adjacent-cell interference)", i, a.Get(i), byte(i%251))
+		}
+	}
+}
+
+func TestByteArraySameValueRace(t *testing.T) {
+	// Theorem V.2 scenario: many writers writing the same value to the same
+	// cell; the result must be that value.
+	a := NewByteArray(64, Infinity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Set(17, 5)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Get(17) != 5 {
+		t.Fatalf("cell = %d, want 5", a.Get(17))
+	}
+}
+
+func TestByteArrayQuickRoundTrip(t *testing.T) {
+	f := func(vals []byte) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := NewByteArray(len(vals), 0)
+		for i, v := range vals {
+			a.Set(i, v)
+		}
+		for i, v := range vals {
+			if a.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

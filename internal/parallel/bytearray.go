@@ -1,0 +1,68 @@
+package parallel
+
+import "sync/atomic"
+
+// ByteArray is a byte slice with atomic element access, used for the
+// node-keyword matrix M (one byte per hitting level, 0xFF = ∞) and for the
+// per-node activation cache. The paper's Theorem V.2 shows every concurrent
+// write to one cell writes the same value (the current level + 1), so any
+// interleaving yields the same contents; atomic accesses make that reasoning
+// sound under the Go memory model without locks.
+type ByteArray struct {
+	data []uint32 // one byte per cell, packed 4 per word
+	n    int
+}
+
+// Infinity is the matrix value meaning "never hit" (the paper's ∞).
+const Infinity = 0xFF
+
+// NewByteArray returns an array of n cells initialized to fill.
+func NewByteArray(n int, fill byte) *ByteArray {
+	a := &ByteArray{data: make([]uint32, (n+3)/4), n: n}
+	if fill != 0 {
+		w := uint32(fill)
+		w |= w << 8
+		w |= w << 16
+		for i := range a.data {
+			a.data[i] = w
+		}
+	}
+	return a
+}
+
+// Len returns the number of cells.
+func (a *ByteArray) Len() int { return a.n }
+
+// Get atomically loads cell i.
+func (a *ByteArray) Get(i int) byte {
+	w := atomic.LoadUint32(&a.data[i/4])
+	return byte(w >> (uint(i%4) * 8))
+}
+
+// Set atomically stores v into cell i without disturbing neighbors.
+// Concurrent Sets to the same cell must write the same value (which the
+// search guarantees); concurrent Sets to different cells in one word are
+// resolved by the CAS loop.
+func (a *ByteArray) Set(i int, v byte) {
+	shift := uint(i%4) * 8
+	mask := uint32(0xFF) << shift
+	val := uint32(v) << shift
+	p := &a.data[i/4]
+	for {
+		old := atomic.LoadUint32(p)
+		nw := (old &^ mask) | val
+		if old == nw || atomic.CompareAndSwapUint32(p, old, nw) {
+			return
+		}
+	}
+}
+
+// Fill resets every cell to v. Requires exclusive access.
+func (a *ByteArray) Fill(v byte) {
+	w := uint32(v)
+	w |= w << 8
+	w |= w << 16
+	for i := range a.data {
+		a.data[i] = w
+	}
+}

@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable fork/join worker pool with dynamic scheduling, the Go
+// analogue of the paper's OpenMP `schedule(dynamic)` loops: once a worker
+// finishes a chunk it grabs the next one, so skewed per-item cost (frontiers
+// with very different neighbor counts) balances automatically.
+//
+// A Pool is created once per search with Tnum workers and used for every
+// fork/join phase of Algorithm 1; phases are separated by the implicit join,
+// which supplies the happens-before edges the lock-free expansion relies on.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs fork/join loops on `workers` goroutines.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured degree of parallelism (the paper's Tnum).
+func (p *Pool) Workers() int { return p.workers }
+
+// chunkFor picks a dynamic-scheduling chunk size: small enough to balance
+// skew, large enough to amortize the atomic fetch-add. Mirrors OpenMP's
+// dynamic schedule with a modest chunk.
+func chunkFor(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// For runs fn(i) for every i in [0, n) across the pool's workers with
+// dynamic scheduling, then joins. fn must be safe for concurrent invocation
+// on distinct i. With one worker it degenerates to a plain loop (the paper's
+// Tnum=1 sequential baseline) with zero goroutine overhead.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := chunkFor(n, p.workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunks runs fn(start, end) over contiguous chunks of [0, n) with
+// dynamic scheduling. Useful when per-chunk setup (scratch buffers) matters.
+func (p *Pool) ForChunks(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := chunkFor(n, p.workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				fn(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes the given thunks concurrently on up to Workers goroutines and
+// joins. Used by fork/join steps that are heterogeneous rather than loops.
+func (p *Pool) Run(thunks ...func()) {
+	if len(thunks) == 1 || p.workers == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.workers)
+	wg.Add(len(thunks))
+	for _, t := range thunks {
+		t := t
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			t()
+		}()
+	}
+	wg.Wait()
+}

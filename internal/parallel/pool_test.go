@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("Workers = %d, want %d", p.Workers(), workers)
+		}
+		const n = 10000
+		hits := make([]atomic.Int32, n)
+		p.For(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolForEmptyAndSmall(t *testing.T) {
+	p := NewPool(8)
+	p.For(0, func(int) { t.Fatal("fn called for n=0") })
+	p.For(-3, func(int) { t.Fatal("fn called for n<0") })
+	var c atomic.Int32
+	p.For(1, func(i int) { c.Add(1) })
+	if c.Load() != 1 {
+		t.Fatalf("n=1 visited %d times", c.Load())
+	}
+}
+
+func TestPoolForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		p := NewPool(workers)
+		const n = 5000
+		seen := make([]atomic.Int32, n)
+		p.ForChunks(n, func(start, end int) {
+			if start < 0 || end > n || start >= end {
+				t.Errorf("bad chunk [%d,%d)", start, end)
+			}
+			for i := start; i < end; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestPoolRun(t *testing.T) {
+	p := NewPool(4)
+	var sum atomic.Int64
+	thunks := make([]func(), 20)
+	for i := range thunks {
+		v := int64(i)
+		thunks[i] = func() { sum.Add(v) }
+	}
+	p.Run(thunks...)
+	if sum.Load() != 190 {
+		t.Fatalf("sum = %d, want 190", sum.Load())
+	}
+}
+
+func TestPoolDefaultsWorkers(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("NewPool(0) has no workers")
+	}
+	if NewPool(-5).Workers() < 1 {
+		t.Fatal("NewPool(-5) has no workers")
+	}
+}
+
+func TestChunkForBounds(t *testing.T) {
+	f := func(n uint16, workers uint8) bool {
+		w := int(workers%64) + 1
+		c := chunkFor(int(n), w)
+		return c >= 1 && c <= 1024
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolForSumEqualsSequential(t *testing.T) {
+	// Property: parallel accumulation over disjoint cells equals the
+	// sequential sum regardless of worker count.
+	f := func(vals []int32, workers uint8) bool {
+		w := int(workers%8) + 1
+		p := NewPool(w)
+		out := make([]int64, len(vals))
+		p.For(len(vals), func(i int) { out[i] = int64(vals[i]) * 2 })
+		for i, v := range vals {
+			if out[i] != int64(v)*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

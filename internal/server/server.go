@@ -1,0 +1,218 @@
+// Package server implements the HTTP JSON search service behind
+// cmd/wikiserve — the reproduction of the paper's online WikiSearch demo.
+//
+// Endpoints:
+//
+//	GET /search?q=<keywords>&k=20&alpha=0.1&variant=cpu   JSON answers
+//	GET /stats                                            dataset statistics
+//	GET /healthz                                          liveness
+//	GET /                                                 minimal HTML page
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wikisearch"
+)
+
+// Server serves search requests over one prepared engine. The engine is
+// safe for concurrent searches, so Server needs no locking of its own.
+type Server struct {
+	eng *wikisearch.Engine
+	mux *http.ServeMux
+}
+
+// New builds a Server over the engine.
+func New(eng *wikisearch.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query      string          `json:"query"`
+	Terms      []string        `json:"terms"`
+	Depth      int             `json:"depth"`
+	Candidates int             `json:"candidates"`
+	TotalMs    float64         `json:"total_ms"`
+	Answers    []AnswerPayload `json:"answers"`
+}
+
+// AnswerPayload is one answer graph in the /search payload.
+type AnswerPayload struct {
+	Central string        `json:"central"`
+	Score   float64       `json:"score"`
+	Depth   int           `json:"depth"`
+	Nodes   []NodePayload `json:"nodes"`
+	Edges   []EdgePayload `json:"edges"`
+}
+
+// NodePayload is one node of an answer graph.
+type NodePayload struct {
+	ID       int32    `json:"id"`
+	Label    string   `json:"label"`
+	Keywords []string `json:"keywords,omitempty"`
+	Central  bool     `json:"central,omitempty"`
+}
+
+// EdgePayload is one hitting-path edge of an answer graph.
+type EdgePayload struct {
+	From int32  `json:"from"`
+	To   int32  `json:"to"`
+	Rel  string `json:"rel"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Dataset     string  `json:"dataset"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	AvgDistance float64 `json:"avg_distance"`
+	Vocabulary  int     `json:"vocabulary"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.error(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k := intParam(r, "k", 20)
+	if k < 1 || k > 200 {
+		s.error(w, http.StatusBadRequest, "k must be in [1,200]")
+		return
+	}
+	alpha := floatParam(r, "alpha", 0.1)
+	if alpha <= 0 || alpha >= 1 {
+		s.error(w, http.StatusBadRequest, "alpha must be in (0,1)")
+		return
+	}
+	variant := wikisearch.CPUPar
+	switch r.URL.Query().Get("variant") {
+	case "", "cpu":
+	case "gpu":
+		variant = wikisearch.GPUPar
+	case "cpu-d":
+		variant = wikisearch.CPUParD
+	case "seq":
+		variant = wikisearch.Sequential
+	default:
+		s.error(w, http.StatusBadRequest, "variant must be cpu, cpu-d, gpu or seq")
+		return
+	}
+	res, err := s.eng.SearchContext(r.Context(), wikisearch.Query{Text: q, TopK: k, Alpha: alpha, Variant: variant})
+	if err != nil {
+		s.error(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := SearchResponse{
+		Query:      q,
+		Terms:      res.Terms,
+		Depth:      res.Depth,
+		Candidates: res.Candidates,
+		TotalMs:    float64(res.Total) / float64(time.Millisecond),
+	}
+	for i := range res.Answers {
+		a := &res.Answers[i]
+		ap := AnswerPayload{Central: a.CentralLabel, Score: a.Score, Depth: a.Depth}
+		for _, n := range a.Nodes {
+			ap.Nodes = append(ap.Nodes, NodePayload{
+				ID: n.ID, Label: n.Label, Keywords: n.Keywords, Central: n.IsCentral,
+			})
+		}
+		for _, e := range a.Edges {
+			ap.Edges = append(ap.Edges, EdgePayload{From: e.From, To: e.To, Rel: e.Rel})
+		}
+		resp.Answers = append(resp.Answers, ap)
+	}
+	s.json(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.json(w, http.StatusOK, StatsResponse{
+		Dataset:     s.eng.Name(),
+		Nodes:       s.eng.Graph().NumNodes(),
+		Edges:       s.eng.Graph().NumEdges(),
+		AvgDistance: s.eng.AvgDistance(),
+		Vocabulary:  s.eng.VocabSize(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html><title>WikiSearch</title>
+<h1>WikiSearch — parallel keyword search on %s</h1>
+<form action="/"><input name="q" size="60" value="%s" placeholder="e.g. sql rdf knowledge base">
+<button>Search</button></form>`, html.EscapeString(s.eng.Name()), html.EscapeString(q))
+	if q == "" {
+		return
+	}
+	res, err := s.eng.Search(wikisearch.Query{Text: q})
+	if err != nil {
+		fmt.Fprintf(w, "<p>error: %s</p>", html.EscapeString(err.Error()))
+		return
+	}
+	fmt.Fprintf(w, "<p>%d answers in %v (d=%d, %d candidates)</p><ol>",
+		len(res.Answers), res.Total.Round(time.Microsecond), res.Depth, res.Candidates)
+	for i := range res.Answers {
+		a := &res.Answers[i]
+		fmt.Fprintf(w, "<li><b>%s</b> (score %.4f, depth %d)<ul>",
+			html.EscapeString(a.CentralLabel), a.Score, a.Depth)
+		for _, n := range a.Nodes {
+			kw := ""
+			if len(n.Keywords) > 0 {
+				kw = fmt.Sprintf(" <i>{%v}</i>", n.Keywords)
+			}
+			fmt.Fprintf(w, "<li>%s%s</li>", html.EscapeString(n.Label), kw)
+		}
+		fmt.Fprint(w, "</ul></li>")
+	}
+	fmt.Fprint(w, "</ol>")
+}
+
+func (s *Server) json(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("server: encode: %v", err)
+	}
+}
+
+func (s *Server) error(w http.ResponseWriter, code int, msg string) {
+	s.json(w, code, map[string]string{"error": msg})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func floatParam(r *http.Request, name string, def float64) float64 {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	if err != nil {
+		return def
+	}
+	return v
+}

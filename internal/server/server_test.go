@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wikisearch"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	b := wikisearch.NewBuilder()
+	sql := b.AddNode("SQL", "query language for relational databases")
+	hub := b.AddNode("Query language", "")
+	sparql := b.AddNode("SPARQL", "RDF query language")
+	rdf := b.AddNode("RDF", "resource description framework")
+	xq := b.AddNode("XQuery", "XML query language")
+	b.AddEdgeNamed(sql, hub, "instance of")
+	b.AddEdgeNamed(sparql, hub, "instance of")
+	b.AddEdgeNamed(xq, hub, "instance of")
+	b.AddEdgeNamed(sparql, rdf, "designed for")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := wikisearch.NewEngine(g, wikisearch.EngineOptions{DistanceSamplePairs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetName("test-kb")
+	return New(eng)
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	w := get(t, testServer(t), "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	w := get(t, testServer(t), "/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dataset != "test-kb" || st.Nodes != 5 || st.Edges != 4 || st.Vocabulary == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSearchOK(t *testing.T) {
+	s := testServer(t)
+	for _, variant := range []string{"", "cpu", "cpu-d", "gpu", "seq"} {
+		url := "/search?q=xml+rdf+sql&k=3"
+		if variant != "" {
+			url += "&variant=" + variant
+		}
+		w := get(t, s, url)
+		if w.Code != http.StatusOK {
+			t.Fatalf("variant %q: status = %d body %s", variant, w.Code, w.Body)
+		}
+		var resp SearchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Terms) != 3 || len(resp.Answers) == 0 {
+			t.Fatalf("variant %q: resp = %+v", variant, resp)
+		}
+		a := resp.Answers[0]
+		if a.Central == "" || len(a.Nodes) == 0 {
+			t.Fatalf("variant %q: bad answer %+v", variant, a)
+		}
+		central := 0
+		for _, n := range a.Nodes {
+			if n.Central {
+				central++
+			}
+		}
+		if central != 1 {
+			t.Fatalf("variant %q: %d central nodes", variant, central)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/search", http.StatusBadRequest},                        // missing q
+		{"/search?q=xml&k=0", http.StatusBadRequest},              // bad k
+		{"/search?q=xml&k=9999", http.StatusBadRequest},           // bad k
+		{"/search?q=xml&alpha=0", http.StatusBadRequest},          // bad alpha
+		{"/search?q=xml&alpha=1.5", http.StatusBadRequest},        // bad alpha
+		{"/search?q=xml&variant=tpu", http.StatusBadRequest},      // bad variant
+		{"/search?q=zzzznothing", http.StatusUnprocessableEntity}, // unmatched keyword
+		{"/search?q=the+of+and", http.StatusUnprocessableEntity},  // stopwords only
+	}
+	for _, c := range cases {
+		w := get(t, s, c.path)
+		if w.Code != c.code {
+			t.Errorf("%s: status = %d, want %d (body %s)", c.path, w.Code, c.code, w.Body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: missing error payload: %s", c.path, w.Body)
+		}
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer(t)
+	w := get(t, s, "/")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "WikiSearch") {
+		t.Fatalf("index page: %d %s", w.Code, w.Body)
+	}
+	// With a query, results render; HTML is escaped.
+	w = get(t, s, "/?q=xml+rdf+sql")
+	if !strings.Contains(w.Body.String(), "answers in") {
+		t.Fatalf("no results rendered: %s", w.Body)
+	}
+	w = get(t, s, "/?q=%3Cscript%3Ealert(1)%3C%2Fscript%3E")
+	if strings.Contains(w.Body.String(), "<script>") {
+		t.Fatal("query text not escaped")
+	}
+}
+
+func TestUnknownRouteAndMethod(t *testing.T) {
+	s := testServer(t)
+	if w := get(t, s, "/nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown route: %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/search?q=xml", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /search: %d", w.Code)
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+// Dump is the version-2 on-disk engine snapshot: graph, weights, the
+// sampled average-distance statistics, and the inverted keyword index —
+// everything the engine needs to start serving without recomputation.
+type Dump struct {
+	Name      string
+	Graph     *graph.Graph
+	Weights   []float64
+	AvgDist   float64
+	Deviation float64
+	// Index may be nil, in which case the loader's caller rebuilds it.
+	Index *text.Index
+}
+
+const version2 = 2
+
+// SaveDump writes a version-2 dump to w: the version-1 payload followed by
+// the distance statistics and the inverted index, all inside the CRC
+// envelope.
+func SaveDump(w io.Writer, d *Dump) error {
+	if d.Graph == nil {
+		return fmt.Errorf("storage: nil graph")
+	}
+	if len(d.Weights) != d.Graph.NumNodes() {
+		return fmt.Errorf("storage: %d weights for %d nodes", len(d.Weights), d.Graph.NumNodes())
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	enc := encoder{w: bw}
+
+	enc.u32(magic)
+	enc.u32(version2)
+	enc.str(d.Name)
+	writeGraphPayload(&enc, d.Graph, d.Weights)
+
+	enc.u64(math.Float64bits(d.AvgDist))
+	enc.u64(math.Float64bits(d.Deviation))
+
+	if d.Index == nil {
+		enc.u64(0)
+	} else {
+		names, postings := d.Index.Export()
+		enc.u64(uint64(len(names)))
+		for i, name := range names {
+			enc.str(name)
+			enc.u64(uint64(len(postings[i])))
+			enc.i32s(postings[i])
+		}
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// LoadDump reads a version-1 or version-2 dump. Version-1 files yield a
+// Dump with zero statistics and a nil index.
+func LoadDump(r io.Reader) (*Dump, error) {
+	crc := crc32.NewIEEE()
+	dec := decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc}
+
+	if m := dec.u32(); dec.err == nil && m != magic {
+		return nil, fmt.Errorf("storage: bad magic %#x", m)
+	}
+	v := dec.u32()
+	if dec.err == nil && v != version && v != version2 {
+		return nil, fmt.Errorf("storage: unsupported version %d", v)
+	}
+	d := &Dump{}
+	d.Name = dec.str()
+	g, weights, err := readGraphPayload(&dec)
+	if err != nil {
+		return nil, err
+	}
+	d.Graph, d.Weights = g, weights
+
+	if v == version2 {
+		d.AvgDist = math.Float64frombits(dec.u64())
+		d.Deviation = math.Float64frombits(dec.u64())
+		nTerms := dec.count()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if nTerms > 0 {
+			names := make([]string, nTerms)
+			postings := make([][]graph.NodeID, nTerms)
+			for i := 0; i < nTerms; i++ {
+				names[i] = dec.str()
+				np := dec.count()
+				postings[i] = dec.i32s(np)
+				if dec.err != nil {
+					return nil, dec.err
+				}
+			}
+			ix, err := text.FromParts(names, postings)
+			if err != nil {
+				return nil, fmt.Errorf("storage: %w", err)
+			}
+			d.Index = ix
+		}
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(dec.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("storage: missing CRC trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("storage: CRC mismatch (file %#x, computed %#x)", got, want)
+	}
+	if err := d.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	// Posting lists must reference valid nodes.
+	if d.Index != nil {
+		n := d.Graph.NumNodes()
+		_, postings := d.Index.Export()
+		for _, p := range postings {
+			for _, v := range p {
+				if v < 0 || int(v) >= n {
+					return nil, fmt.Errorf("storage: posting references node %d of %d", v, n)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// SaveDumpFile writes the dump to path atomically.
+func SaveDumpFile(path string, d *Dump) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveDump(f, d); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadDumpFile reads a dump from path.
+func LoadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDump(f)
+}
+
+// writeGraphPayload emits the version-1 body (graph arrays + weights).
+func writeGraphPayload(enc *encoder, g *graph.Graph, weights []float64) {
+	outOff, outDst, outRel, inOff, inSrc, inRel, labels, descs, relNames := g.Parts()
+	enc.u64(uint64(g.NumNodes()))
+	enc.u64(uint64(g.NumEdges()))
+	enc.u64(uint64(len(relNames)))
+	for _, o := range outOff {
+		enc.u64(uint64(o))
+	}
+	for _, o := range inOff {
+		enc.u64(uint64(o))
+	}
+	enc.i32s(outDst)
+	enc.i32s(outRel)
+	enc.i32s(inSrc)
+	enc.i32s(inRel)
+	for _, s := range labels {
+		enc.str(s)
+	}
+	for _, s := range descs {
+		enc.str(s)
+	}
+	for _, s := range relNames {
+		enc.str(s)
+	}
+	for _, x := range weights {
+		enc.u64(math.Float64bits(x))
+	}
+}
+
+// readGraphPayload parses the version-1 body.
+func readGraphPayload(dec *decoder) (*graph.Graph, []float64, error) {
+	n := dec.count()
+	m := dec.count()
+	nr := dec.count()
+	if dec.err != nil {
+		return nil, nil, dec.err
+	}
+	outOff := dec.u64s(n + 1)
+	inOff := dec.u64s(n + 1)
+	outDst := dec.i32s(m)
+	outRel := dec.i32s(m)
+	inSrc := dec.i32s(m)
+	inRel := dec.i32s(m)
+	labels := dec.strs(n)
+	descs := dec.strs(n)
+	relNames := dec.strs(nr)
+	weights := dec.f64s(n)
+	if dec.err != nil {
+		return nil, nil, dec.err
+	}
+	g := graph.FromParts(outOff, outDst, outRel, inOff, inSrc, inRel, labels, descs, relNames)
+	return g, weights, nil
+}

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wikisearch/internal/text"
+)
+
+func sampleDump(t *testing.T) *Dump {
+	t.Helper()
+	g, w := sampleGraph(t)
+	return &Dump{
+		Name:      "v2-sample",
+		Graph:     g,
+		Weights:   w,
+		AvgDist:   3.68,
+		Deviation: 0.98,
+		Index:     text.BuildIndex(g),
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	d := sampleDump(t)
+	var buf bytes.Buffer
+	if err := SaveDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.AvgDist != d.AvgDist || d2.Deviation != d.Deviation {
+		t.Fatalf("metadata: %+v", d2)
+	}
+	assertGraphsEqual(t, d.Graph, d2.Graph)
+	if !reflect.DeepEqual(d.Weights, d2.Weights) {
+		t.Fatal("weights differ")
+	}
+	if d2.Index == nil {
+		t.Fatal("index lost")
+	}
+	if d2.Index.NumTerms() != d.Index.NumTerms() {
+		t.Fatalf("terms %d vs %d", d2.Index.NumTerms(), d.Index.NumTerms())
+	}
+	// Every posting list survives byte-for-byte.
+	names, postings := d.Index.Export()
+	for i, name := range names {
+		if !reflect.DeepEqual(d2.Index.LookupTerm(name), postings[i]) {
+			t.Fatalf("postings for %q differ", name)
+		}
+	}
+}
+
+func TestDumpWithoutIndex(t *testing.T) {
+	d := sampleDump(t)
+	d.Index = nil
+	var buf bytes.Buffer
+	if err := SaveDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Index != nil {
+		t.Fatal("index materialized from nothing")
+	}
+	if d2.AvgDist != d.AvgDist {
+		t.Fatal("stats lost")
+	}
+}
+
+func TestLoadDumpAcceptsVersion1(t *testing.T) {
+	// A version-1 file (Save) loads as a Dump with no stats and no index.
+	g, w := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, "legacy", g, w); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "legacy" || d.Index != nil || d.AvgDist != 0 {
+		t.Fatalf("v1 dump = %+v", d)
+	}
+	assertGraphsEqual(t, g, d.Graph)
+}
+
+func TestDumpValidation(t *testing.T) {
+	if err := SaveDump(&bytes.Buffer{}, &Dump{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g, _ := sampleGraph(t)
+	if err := SaveDump(&bytes.Buffer{}, &Dump{Graph: g, Weights: []float64{1}}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+}
+
+func TestDumpCorruptionRejected(t *testing.T) {
+	d := sampleDump(t)
+	var buf bytes.Buffer
+	if err := SaveDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, cut := range []int{0, 8, 40, len(good) / 2, len(good) - 1} {
+		if _, err := LoadDump(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	f := func(pos uint16, flip byte) bool {
+		if flip == 0 {
+			return true
+		}
+		bad := append([]byte(nil), good...)
+		bad[int(pos)%len(bad)] ^= flip
+		_, err := LoadDump(bytes.NewReader(bad))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpFileRoundTrip(t *testing.T) {
+	d := sampleDump(t)
+	path := filepath.Join(t.TempDir(), "v2.wskb")
+	if err := SaveDumpFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDumpFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.Index == nil {
+		t.Fatalf("file round trip: %+v", d2)
+	}
+	if _, err := LoadDumpFile(filepath.Join(t.TempDir(), "nope.wskb")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,281 @@
+// Package storage persists a knowledge graph (CSR arrays, labels, relation
+// names) and its precomputed node weights in a compact binary format, so
+// the CLI tools and the service load a prepared dump instead of regenerating
+// and re-weighting it. The format is little-endian, versioned, and guarded
+// by a CRC32 of the payload; Load rejects truncated or corrupted files.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"wikisearch/internal/graph"
+)
+
+const (
+	magic   = 0x57534b42 // "WSKB"
+	version = 1
+	// maxStr bounds a single string record; labels and descriptions are
+	// short, so anything larger signals corruption.
+	maxStr = 1 << 20
+	// maxCount bounds node/edge counts (268M) against absurd allocations from a
+	// corrupt header.
+	maxCount = 1 << 28
+)
+
+// Save writes the graph, its dataset name and its node weights to w.
+func Save(w io.Writer, name string, g *graph.Graph, weights []float64) error {
+	if len(weights) != g.NumNodes() {
+		return fmt.Errorf("storage: %d weights for %d nodes", len(weights), g.NumNodes())
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	enc := encoder{w: bw}
+
+	enc.u32(magic)
+	enc.u32(version)
+	enc.str(name)
+	writeGraphPayload(&enc, g, weights)
+	if enc.err != nil {
+		return enc.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// CRC over everything written so far, as the trailer.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// Load reads a graph previously written by Save. It validates the header,
+// every array bound, the CSR invariants and the CRC trailer.
+func Load(r io.Reader) (name string, g *graph.Graph, weights []float64, err error) {
+	crc := crc32.NewIEEE()
+	dec := decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc}
+
+	if m := dec.u32(); dec.err == nil && m != magic {
+		return "", nil, nil, fmt.Errorf("storage: bad magic %#x", m)
+	}
+	if v := dec.u32(); dec.err == nil && v != version {
+		return "", nil, nil, fmt.Errorf("storage: unsupported version %d", v)
+	}
+	name = dec.str()
+	g, weights, err = readGraphPayload(&dec)
+	if err != nil {
+		return "", nil, nil, err
+	}
+
+	// Verify trailer: CRC of payload read so far against the stored value.
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(dec.r, tail[:]); err != nil {
+		return "", nil, nil, fmt.Errorf("storage: missing CRC trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return "", nil, nil, fmt.Errorf("storage: CRC mismatch (file %#x, computed %#x)", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		return "", nil, nil, fmt.Errorf("storage: %w", err)
+	}
+	return name, g, weights, nil
+}
+
+// SaveFile writes the dump to path atomically (temp file + rename).
+func SaveFile(path, name string, g *graph.Graph, weights []float64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, name, g, weights); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a dump from path.
+func LoadFile(path string) (string, *graph.Graph, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) u32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	_, e.err = e.w.Write(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	_, e.err = e.w.Write(e.buf[:8])
+}
+
+func (e *encoder) i32s(xs []int32) {
+	for _, x := range xs {
+		if e.err != nil {
+			return
+		}
+		binary.LittleEndian.PutUint32(e.buf[:4], uint32(x))
+		_, e.err = e.w.Write(e.buf[:4])
+	}
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > maxStr {
+		e.err = fmt.Errorf("storage: string of %d bytes exceeds limit", len(s))
+		return
+	}
+	e.u32(uint32(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) read(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := d.buf[:n]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("storage: truncated file: %w", err)
+		return nil
+	}
+	d.crc.Write(b)
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.read(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.read(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) count() int {
+	v := d.u64()
+	if d.err == nil && v > maxCount {
+		d.err = fmt.Errorf("storage: implausible count %d", v)
+	}
+	return int(v)
+}
+
+func (d *decoder) u64s(n int) []int64 {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		b := d.read(4)
+		if b == nil {
+			return nil
+		}
+		out[i] = int32(binary.LittleEndian.Uint32(b))
+	}
+	return out
+}
+
+func (d *decoder) f64s(n int) []float64 {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.u64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStr {
+		d.err = fmt.Errorf("storage: string of %d bytes exceeds limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("storage: truncated string: %w", err)
+		return ""
+	}
+	d.crc.Write(b)
+	return string(b)
+}
+
+func (d *decoder) strs(n int) []string {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

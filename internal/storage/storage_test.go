@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wikisearch/internal/gen"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+	"wikisearch/internal/weight"
+)
+
+func sampleGraph(t *testing.T) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("SQL", "query language")
+	b.AddNode("SPARQL", "RDF query language")
+	b.AddNode("Query language", "")
+	b.AddEdgeNamed(0, 2, "instance of")
+	b.AddEdgeNamed(1, 2, "instance of")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []float64{0.25, 0.5, 1}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, w := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, "sample", g, w); err != nil {
+		t.Fatal(err)
+	}
+	name, g2, w2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sample" {
+		t.Fatalf("name = %q", name)
+	}
+	if !reflect.DeepEqual(w, w2) {
+		t.Fatalf("weights differ: %v vs %v", w, w2)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, g, g2 *graph.Graph) {
+	t.Helper()
+	if g.NumNodes() != g2.NumNodes() || g.NumEdges() != g2.NumEdges() || g.NumRels() != g2.NumRels() {
+		t.Fatalf("shape differs: %d/%d/%d vs %d/%d/%d",
+			g.NumNodes(), g.NumEdges(), g.NumRels(), g2.NumNodes(), g2.NumEdges(), g2.NumRels())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if g.Label(id) != g2.Label(id) || g.Description(id) != g2.Description(id) {
+			t.Fatalf("node %d text differs", v)
+		}
+		d1, r1 := g.OutEdges(id)
+		d2, r2 := g2.OutEdges(id)
+		if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("node %d out edges differ", v)
+		}
+		s1, q1 := g.InEdges(id)
+		s2, q2 := g2.InEdges(id)
+		if !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("node %d in edges differ", v)
+		}
+	}
+	for r := 0; r < g.NumRels(); r++ {
+		if g.RelName(graph.RelID(r)) != g2.RelName(graph.RelID(r)) {
+			t.Fatalf("relation %d name differs", r)
+		}
+	}
+}
+
+func TestRoundTripGeneratedKB(t *testing.T) {
+	kb := gen.Generate(gen.Config{Name: "rt", Seed: 3, Nodes: 2000})
+	w := weight.Compute(kb.Graph, parallel.NewPool(2))
+	var buf bytes.Buffer
+	if err := Save(&buf, kb.Name, kb.Graph, w); err != nil {
+		t.Fatal(err)
+	}
+	name, g2, w2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "rt" || len(w2) != len(w) {
+		t.Fatalf("name %q, %d weights", name, len(w2))
+	}
+	assertGraphsEqual(t, kb.Graph, g2)
+}
+
+func TestSaveRejectsMismatchedWeights(t *testing.T) {
+	g, _ := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, "x", g, []float64{1}); err == nil {
+		t.Fatal("Save accepted wrong weight count")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	g, w := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, "x", g, w); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every prefix length must error, never panic.
+	for _, cut := range []int{0, 1, 4, 8, 16, len(good) / 2, len(good) - 1} {
+		if _, _, _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("Load accepted truncation at %d", cut)
+		}
+	}
+
+	// Bit flips anywhere must be caught (CRC or structural validation).
+	for _, pos := range []int{0, 5, 9, 20, len(good) / 2, len(good) - 2} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x40
+		if _, _, _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("Load accepted bit flip at %d", pos)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptionQuick(t *testing.T) {
+	g, w := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, "x", g, w); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	f := func(pos uint16, flip byte) bool {
+		if flip == 0 {
+			return true
+		}
+		bad := append([]byte(nil), good...)
+		bad[int(pos)%len(bad)] ^= flip
+		_, _, _, err := Load(bytes.NewReader(bad))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g, w := sampleGraph(t)
+	path := filepath.Join(t.TempDir(), "kb.wskb")
+	if err := SaveFile(path, "file-test", g, w); err != nil {
+		t.Fatal(err)
+	}
+	name, g2, w2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "file-test" || g2.NumNodes() != g.NumNodes() || len(w2) != len(w) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing.wskb")); err == nil {
+		t.Fatal("LoadFile accepted missing file")
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	g, err := graph.NewBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, "empty", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, g2, w2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 || len(w2) != 0 {
+		t.Fatal("empty graph round trip mismatch")
+	}
+}

@@ -1,0 +1,156 @@
+package text
+
+import (
+	"fmt"
+	"sort"
+
+	"wikisearch/internal/graph"
+)
+
+// Index is the inverted keyword index mapping each normalized term to the
+// sorted list of nodes whose label or description contains it. Each query
+// keyword t_i resolves through the index to its source node set T_i, which
+// seeds BFS instance B_i (§III).
+type Index struct {
+	ids       map[string]int32
+	names     []string
+	postings  [][]graph.NodeID
+	maxLen    int
+	totalPost int
+}
+
+// BuildIndex indexes every node's label and description.
+func BuildIndex(g *graph.Graph) *Index {
+	ix := &Index{ids: make(map[string]int32)}
+	n := g.NumNodes()
+	// Per-node de-duplication scratch.
+	seen := make(map[int32]struct{}, 16)
+	for v := 0; v < n; v++ {
+		clear(seen)
+		addTerms := func(s string) {
+			for _, term := range Normalize(s) {
+				id, ok := ix.ids[term]
+				if !ok {
+					id = int32(len(ix.names))
+					ix.ids[term] = id
+					ix.names = append(ix.names, term)
+					ix.postings = append(ix.postings, nil)
+				}
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				ix.postings[id] = append(ix.postings[id], graph.NodeID(v))
+			}
+		}
+		addTerms(g.Label(graph.NodeID(v)))
+		addTerms(g.Description(graph.NodeID(v)))
+	}
+	for _, p := range ix.postings {
+		if len(p) > ix.maxLen {
+			ix.maxLen = len(p)
+		}
+		ix.totalPost += len(p)
+	}
+	return ix
+}
+
+// NumTerms returns the vocabulary size (distinct keywords after stopword
+// filtering and stemming).
+func (ix *Index) NumTerms() int { return len(ix.names) }
+
+// TotalPostings returns the number of (term, node) pairs.
+func (ix *Index) TotalPostings() int { return ix.totalPost }
+
+// MaxPostingLen returns the longest posting list (most frequent keyword).
+func (ix *Index) MaxPostingLen() int { return ix.maxLen }
+
+// TermName returns the normalized term with the given id.
+func (ix *Index) TermName(id int32) string { return ix.names[id] }
+
+// LookupTerm returns the posting list for an already-normalized term. The
+// returned slice is sorted ascending, aliases index storage, and must not be
+// modified. Nil means the term is unknown.
+func (ix *Index) LookupTerm(term string) []graph.NodeID {
+	id, ok := ix.ids[term]
+	if !ok {
+		return nil
+	}
+	return ix.postings[id]
+}
+
+// Lookup normalizes a raw keyword and returns the union of posting lists of
+// its normalized terms (a raw keyword like "databases" normalizes to one
+// term; a phrase-like raw keyword may normalize to several).
+func (ix *Index) Lookup(raw string) []graph.NodeID {
+	terms := Normalize(raw)
+	switch len(terms) {
+	case 0:
+		return nil
+	case 1:
+		return ix.LookupTerm(terms[0])
+	}
+	set := map[graph.NodeID]struct{}{}
+	for _, t := range terms {
+		for _, v := range ix.LookupTerm(t) {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Frequency returns the keyword frequency of a raw keyword — the number of
+// nodes containing it (the kwf columns of Table V).
+func (ix *Index) Frequency(raw string) int { return len(ix.Lookup(raw)) }
+
+// Export returns the index's term names and posting lists for
+// serialization. The slices alias index storage and must not be modified.
+func (ix *Index) Export() (names []string, postings [][]graph.NodeID) {
+	return ix.names, ix.postings
+}
+
+// FromParts reassembles an Index from serialized term names and posting
+// lists (postings must be sorted ascending, as Export produces them).
+func FromParts(names []string, postings [][]graph.NodeID) (*Index, error) {
+	if len(names) != len(postings) {
+		return nil, fmt.Errorf("text: %d names for %d posting lists", len(names), len(postings))
+	}
+	ix := &Index{
+		ids:      make(map[string]int32, len(names)),
+		names:    names,
+		postings: postings,
+	}
+	for i, n := range names {
+		if _, dup := ix.ids[n]; dup {
+			return nil, fmt.Errorf("text: duplicate term %q", n)
+		}
+		ix.ids[n] = int32(i)
+		if len(postings[i]) > ix.maxLen {
+			ix.maxLen = len(postings[i])
+		}
+		ix.totalPost += len(postings[i])
+	}
+	return ix, nil
+}
+
+// QueryTerms normalizes a whole query string into its unique keyword terms,
+// preserving first-occurrence order. This defines the q BFS instances of a
+// query (duplicate and stopword terms collapse).
+func QueryTerms(q string) []string {
+	terms := Normalize(q)
+	seen := make(map[string]struct{}, len(terms))
+	out := terms[:0]
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package text
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"SPARQL 1.1 (RDF query-language)", []string{"sparql", "1", "1", "rdf", "query", "language"}},
+		{"", nil},
+		{"   ", nil},
+		{"XPath2", []string{"xpath2"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeDropsStopwordsAndStems(t *testing.T) {
+	got := Normalize("The Databases of the Knowledge Graphs")
+	want := []string{"databas", "knowledg", "graph"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "of", "and", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"database", "graph", "xml"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("SQL", "query language for relational databases") // 0
+	b.AddNode("SPARQL", "RDF query language")                   // 1
+	b.AddNode("XPath", "XML path language")                     // 2
+	b.AddNode("RDF", "resource description framework")          // 3
+	b.AddNode("Query language", "")                             // 4
+	b.AddEdgeNamed(0, 4, "instance of")
+	b.AddEdgeNamed(1, 4, "instance of")
+	b.AddEdgeNamed(2, 4, "instance of")
+	b.AddEdgeNamed(1, 3, "designed for")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	g := testGraph(t)
+	ix := BuildIndex(g)
+	if ix.NumTerms() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// "query" appears in nodes 0 (desc), 1 (desc), 4 (label).
+	got := ix.Lookup("query")
+	want := []graph.NodeID{0, 1, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Lookup(query) = %v, want %v", got, want)
+	}
+	// Lookup normalizes: "Languages" stems to "languag" like "language".
+	if !reflect.DeepEqual(ix.Lookup("Languages"), ix.Lookup("language")) {
+		t.Fatal("lookup not normalization-invariant")
+	}
+	// RDF: node 1 (desc) and node 3 (label).
+	if got := ix.Lookup("rdf"); !reflect.DeepEqual(got, []graph.NodeID{1, 3}) {
+		t.Fatalf("Lookup(rdf) = %v", got)
+	}
+	if ix.Lookup("zebra") != nil {
+		t.Fatal("unknown term should return nil")
+	}
+	if ix.Frequency("query") != 3 {
+		t.Fatalf("Frequency(query) = %d", ix.Frequency("query"))
+	}
+}
+
+func TestIndexNoDuplicatePostings(t *testing.T) {
+	// A node whose label and description share a term must appear once.
+	b := graph.NewBuilder()
+	b.AddNode("database database", "the database")
+	g, _ := b.Build()
+	ix := BuildIndex(g)
+	if got := ix.Lookup("database"); len(got) != 1 {
+		t.Fatalf("Lookup = %v, want single posting", got)
+	}
+}
+
+func TestIndexPostingsSorted(t *testing.T) {
+	g := testGraph(t)
+	ix := BuildIndex(g)
+	for id := int32(0); id < int32(ix.NumTerms()); id++ {
+		p := ix.LookupTerm(ix.TermName(id))
+		if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i] < p[j] }) {
+			t.Fatalf("posting list for %q unsorted: %v", ix.TermName(id), p)
+		}
+	}
+}
+
+func TestQueryTerms(t *testing.T) {
+	got := QueryTerms("XML relational search")
+	want := []string{"xml", "relat", "search"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QueryTerms = %v, want %v", got, want)
+	}
+	// Duplicates and stopwords collapse.
+	got = QueryTerms("the search of search searches")
+	if !reflect.DeepEqual(got, []string{"search"}) {
+		t.Fatalf("QueryTerms dedup = %v", got)
+	}
+	if QueryTerms("the of and") != nil && len(QueryTerms("the of and")) != 0 {
+		t.Fatal("all-stopword query should yield no terms")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	g := testGraph(t)
+	ix := BuildIndex(g)
+	if ix.TotalPostings() <= 0 || ix.MaxPostingLen() <= 0 {
+		t.Fatal("index stats not populated")
+	}
+	if ix.MaxPostingLen() > ix.TotalPostings() {
+		t.Fatal("MaxPostingLen > TotalPostings")
+	}
+}
+
+func TestIndexExportFromParts(t *testing.T) {
+	g := testGraph(t)
+	ix := BuildIndex(g)
+	names, postings := ix.Export()
+	ix2, err := FromParts(names, postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.NumTerms() != ix.NumTerms() || ix2.TotalPostings() != ix.TotalPostings() ||
+		ix2.MaxPostingLen() != ix.MaxPostingLen() {
+		t.Fatalf("stats differ after round trip")
+	}
+	for _, name := range names {
+		if !reflect.DeepEqual(ix.LookupTerm(name), ix2.LookupTerm(name)) {
+			t.Fatalf("postings for %q differ", name)
+		}
+	}
+	// Error paths.
+	if _, err := FromParts([]string{"a"}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FromParts([]string{"a", "a"}, make([][]graph.NodeID, 2)); err == nil {
+		t.Fatal("duplicate term accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package text
+
+// Stem applies the classic Porter stemming algorithm (Porter, 1980) to a
+// lower-case ASCII word. Words shorter than three letters are returned
+// unchanged, as in the reference implementation. Non-ASCII input is
+// returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			if c < '0' || c > '9' {
+				return word
+			}
+		}
+	}
+	s := stemmer{b: []byte(word)}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b)
+}
+
+// stemmer holds the working buffer; all steps shrink or rewrite its tail.
+type stemmer struct {
+	b []byte
+}
+
+// cons reports whether b[i] is a consonant under Porter's definition:
+// a,e,i,o,u are vowels; y is a consonant at position 0 or when the previous
+// letter is a vowel.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	}
+	return true
+}
+
+// m measures the number of VC sequences in b[0:end] — the [C](VC)^m[V]
+// measure of the paper.
+func (s *stemmer) m(end int) int {
+	n, i := 0, 0
+	for i < end && s.cons(i) {
+		i++
+	}
+	if i >= end {
+		return 0
+	}
+	for {
+		for i < end && !s.cons(i) {
+			i++
+		}
+		if i >= end {
+			return n
+		}
+		n++
+		for i < end && s.cons(i) {
+			i++
+		}
+		if i >= end {
+			return n
+		}
+	}
+}
+
+// hasVowel reports whether b[0:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether b ends (at index i) with a double consonant.
+func (s *stemmer) doubleCons(i int) bool {
+	return i >= 1 && s.b[i] == s.b[i-1] && s.cons(i)
+}
+
+// cvc reports whether the three letters ending at i are
+// consonant-vowel-consonant with the final consonant not w, x or y.
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the buffer ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b) - len(suf)
+	if n < 0 {
+		return false
+	}
+	return string(s.b[n:]) == suf
+}
+
+// stemEnd returns the length of the stem if suf is removed.
+func (s *stemmer) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// replace swaps the suffix (assumed present) for rep.
+func (s *stemmer) replace(suf, rep string) {
+	s.b = append(s.b[:s.stemEnd(suf)], rep...)
+}
+
+// r replaces suf with rep when the measure of the remaining stem is > 0.
+// It returns true when suf matched (whether or not the replacement fired),
+// so rule lists stop at the first matching suffix, as Porter specifies.
+func (s *stemmer) r(suf, rep string) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.m(s.stemEnd(suf)) > 0 {
+		s.replace(suf, rep)
+	}
+	return true
+}
+
+func (s *stemmer) step1ab() {
+	// Step 1a.
+	if s.hasSuffix("s") {
+		switch {
+		case s.hasSuffix("sses"):
+			s.replace("sses", "ss")
+		case s.hasSuffix("ies"):
+			s.replace("ies", "i")
+		case s.hasSuffix("ss"):
+			// keep
+		default:
+			s.replace("s", "")
+		}
+	}
+	// Step 1b.
+	if s.hasSuffix("eed") {
+		if s.m(s.stemEnd("eed")) > 0 {
+			s.replace("eed", "ee")
+		}
+		return
+	}
+	applied := false
+	if s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")) {
+		s.replace("ed", "")
+		applied = true
+	} else if s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")) {
+		s.replace("ing", "")
+		applied = true
+	}
+	if !applied {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.replace("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replace("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replace("iz", "ize")
+	case s.doubleCons(len(s.b) - 1):
+		switch s.b[len(s.b)-1] {
+		case 'l', 's', 'z':
+		default:
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.m(len(s.b)) == 1 && s.cvc(len(s.b)-1):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+func (s *stemmer) step2() {
+	if len(s.b) < 3 {
+		return
+	}
+	// Dispatch on the penultimate letter, as in the reference code.
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		_ = s.r("ational", "ate") || s.r("tional", "tion")
+	case 'c':
+		_ = s.r("enci", "ence") || s.r("anci", "ance")
+	case 'e':
+		_ = s.r("izer", "ize")
+	case 'l':
+		_ = s.r("abli", "able") || s.r("alli", "al") || s.r("entli", "ent") ||
+			s.r("eli", "e") || s.r("ousli", "ous")
+	case 'o':
+		_ = s.r("ization", "ize") || s.r("ation", "ate") || s.r("ator", "ate")
+	case 's':
+		_ = s.r("alism", "al") || s.r("iveness", "ive") || s.r("fulness", "ful") ||
+			s.r("ousness", "ous")
+	case 't':
+		_ = s.r("aliti", "al") || s.r("iviti", "ive") || s.r("biliti", "ble")
+	}
+}
+
+func (s *stemmer) step3() {
+	switch s.b[len(s.b)-1] {
+	case 'e':
+		_ = s.r("icate", "ic") || s.r("ative", "") || s.r("alize", "al")
+	case 'i':
+		_ = s.r("iciti", "ic")
+	case 'l':
+		_ = s.r("ical", "ic") || s.r("ful", "")
+	case 's':
+		_ = s.r("ness", "")
+	}
+}
+
+// r2 removes suf when the remaining stem has measure > 1; returns true when
+// suf matched.
+func (s *stemmer) r2(suf string) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.m(s.stemEnd(suf)) > 1 {
+		s.replace(suf, "")
+	}
+	return true
+}
+
+func (s *stemmer) step4() {
+	if len(s.b) < 3 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		_ = s.r2("al")
+	case 'c':
+		_ = s.r2("ance") || s.r2("ence")
+	case 'e':
+		_ = s.r2("er")
+	case 'i':
+		_ = s.r2("ic")
+	case 'l':
+		_ = s.r2("able") || s.r2("ible")
+	case 'n':
+		_ = s.r2("ant") || s.r2("ement") || s.r2("ment") || s.r2("ent")
+	case 'o':
+		if s.hasSuffix("ion") {
+			end := s.stemEnd("ion")
+			if end > 0 && (s.b[end-1] == 's' || s.b[end-1] == 't') && s.m(end) > 1 {
+				s.replace("ion", "")
+			}
+		} else {
+			_ = s.r2("ou")
+		}
+	case 's':
+		_ = s.r2("ism")
+	case 't':
+		_ = s.r2("ate") || s.r2("iti")
+	case 'u':
+		_ = s.r2("ous")
+	case 'v':
+		_ = s.r2("ive")
+	case 'z':
+		_ = s.r2("ize")
+	}
+}
+
+func (s *stemmer) step5() {
+	// Step 5a.
+	if s.b[len(s.b)-1] == 'e' {
+		a := s.m(len(s.b) - 1)
+		if a > 1 || (a == 1 && !s.cvc(len(s.b)-2)) {
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+	// Step 5b.
+	n := len(s.b) - 1
+	if n > 0 && s.b[n] == 'l' && s.doubleCons(n) && s.m(len(s.b)) > 1 {
+		s.b = s.b[:n]
+	}
+}

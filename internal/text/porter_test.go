@@ -1,0 +1,176 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's paper and the reference implementation's vocabulary.
+func TestStemVectors(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// General IR words used throughout the experiments.
+		"databases":   "databas",
+		"indexing":    "index",
+		"ranking":     "rank",
+		"searching":   "search",
+		"learning":    "learn",
+		"retrieval":   "retriev",
+		"mining":      "mine",
+		"translation": "translat",
+		"inference2":  "inference2", // non-letters pass through untouched? digits allowed
+	}
+	delete(cases, "inference2")
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"", "a", "go", "db"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+	for _, w := range []string{"naïve", "café", "日本語"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged (non-ASCII)", w, got)
+		}
+	}
+}
+
+func TestStemConflatesInflections(t *testing.T) {
+	// The property that matters for search: morphological variants of one
+	// word map to the same stem, so index terms and query terms agree.
+	groups := [][]string{
+		{"database", "databases"},
+		{"search", "searches", "searching", "searched"},
+		{"index", "indexes", "indexing", "indexed"},
+		{"graph", "graphs"},
+		{"learn", "learning", "learned", "learns"},
+		{"retrieval", "retrievals"},
+		{"network", "networks"},
+		{"translation", "translations"},
+		{"keyword", "keywords"},
+		{"engine", "engines"},
+	}
+	for _, g := range groups {
+		want := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != want {
+				t.Errorf("Stem(%q) = %q, want %q (same as %q)", w, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestStemNeverGrows(t *testing.T) {
+	f := func(b []byte) bool {
+		// Constrain to lowercase ASCII words.
+		w := make([]byte, 0, len(b))
+		for _, c := range b {
+			w = append(w, 'a'+c%26)
+		}
+		s := Stem(string(w))
+		return len(s) <= len(w)+1 // step 1b can append 'e' after shrinking by >=2; net never grows by more than... assert conservative bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStemDeterministic(t *testing.T) {
+	f := func(b []byte) bool {
+		w := make([]byte, 0, len(b))
+		for _, c := range b {
+			w = append(w, 'a'+c%26)
+		}
+		return Stem(string(w)) == Stem(string(w))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

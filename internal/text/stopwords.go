@@ -1,0 +1,37 @@
+package text
+
+// stopwords is a standard English stopword list (the classic SMART-derived
+// core set), matching the paper's "stopping word filtering" preprocessing.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "aren", "as", "at", "be", "because",
+		"been", "before", "being", "below", "between", "both", "but", "by",
+		"can", "cannot", "could", "couldn", "did", "didn", "do", "does",
+		"doesn", "doing", "don", "down", "during", "each", "few", "for",
+		"from", "further", "had", "hadn", "has", "hasn", "have", "haven",
+		"having", "he", "her", "here", "hers", "herself", "him", "himself",
+		"his", "how", "i", "if", "in", "into", "is", "isn", "it", "its",
+		"itself", "just", "me", "more", "most", "mustn", "my", "myself",
+		"no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+		"other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+		"same", "shan", "she", "should", "shouldn", "so", "some", "such",
+		"than", "that", "the", "their", "theirs", "them", "themselves",
+		"then", "there", "these", "they", "this", "those", "through", "to",
+		"too", "under", "until", "up", "very", "was", "wasn", "we", "were",
+		"weren", "what", "when", "where", "which", "while", "who", "whom",
+		"why", "with", "won", "would", "wouldn", "you", "your", "yours",
+		"yourself", "yourselves",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (already lower-cased) token is filtered
+// out of the keyword vocabulary.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}

@@ -1,0 +1,45 @@
+package weight
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/parallel"
+)
+
+func BenchmarkComputeWeights(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n, m = 20000, 120000
+	gb := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		gb.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []graph.RelID{gb.Rel("a"), gb.Rel("b"), gb.Rel("c"), gb.Rel("d")}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(4)])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(g, pool)
+	}
+}
+
+func BenchmarkActivationLevels(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float64, 1<<18)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	pool := parallel.NewPool(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Levels(w, 3.7, 0.1, pool)
+	}
+}

@@ -1,0 +1,245 @@
+// Package wikidata imports Wikidata JSON entity dumps — the format the
+// paper's engine indexes ("we focus on one specific important knowledge
+// graph, Wikidata Knowledge Base", §I) — into the knowledge-graph builder.
+//
+// The importer streams the standard dump layout (a JSON array with one
+// entity object per line, as produced by dumps.wikimedia.org) or plain
+// JSON-Lines:
+//
+//   - items become nodes; their English label and description become the
+//     node text,
+//   - statement main snaks whose value is another entity become directed
+//     edges labeled with the property,
+//   - property entities contribute their English labels as relationship
+//     names (so P31 renders as "instance of"),
+//   - quantity/string/time/etc. snaks are skipped — the engine indexes
+//     entity text, not datatype values.
+//
+// Entities referenced but not defined in the stream (truncated dumps,
+// samples) become nodes labeled by their id, so every edge resolves.
+package wikidata
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wikisearch/internal/graph"
+)
+
+// Stats summarizes one import.
+type Stats struct {
+	Entities   int // item entities parsed
+	Properties int // property entities parsed
+	Claims     int // statements examined
+	Edges      int // entity-valued statements turned into edges
+	Skipped    int // non-entity or somevalue/novalue snaks skipped
+	Dangling   int // referenced-but-undefined entities materialized
+}
+
+// entity mirrors the parts of the dump schema the importer needs.
+type entity struct {
+	Type         string              `json:"type"`
+	ID           string              `json:"id"`
+	Labels       map[string]monoText `json:"labels"`
+	Descriptions map[string]monoText `json:"descriptions"`
+	Claims       map[string][]claim  `json:"claims"`
+}
+
+type monoText struct {
+	Value string `json:"value"`
+}
+
+type claim struct {
+	Mainsnak snak `json:"mainsnak"`
+}
+
+type snak struct {
+	Snaktype  string `json:"snaktype"`
+	Datavalue struct {
+		Type  string          `json:"type"`
+		Value json.RawMessage `json:"value"`
+	} `json:"datavalue"`
+}
+
+type entityIDValue struct {
+	ID string `json:"id"`
+}
+
+// pendingEdge defers edges until all entities are interned.
+type pendingEdge struct {
+	from, to graph.NodeID
+	prop     int // index into props
+}
+
+// Importer accumulates a dump into a graph.
+type Importer struct {
+	nodes     map[string]graph.NodeID
+	labels    []string // by node id
+	descs     []string
+	defined   map[graph.NodeID]bool
+	propIdx   map[string]int
+	propIDs   []string
+	propNames []string // resolved English labels, "" until seen
+	edges     []pendingEdge
+	stats     Stats
+}
+
+// NewImporter returns an empty importer.
+func NewImporter() *Importer {
+	return &Importer{
+		nodes:   map[string]graph.NodeID{},
+		defined: map[graph.NodeID]bool{},
+		propIdx: map[string]int{},
+	}
+}
+
+func (im *Importer) node(id string) graph.NodeID {
+	if v, ok := im.nodes[id]; ok {
+		return v
+	}
+	v := graph.NodeID(len(im.labels))
+	im.nodes[id] = v
+	im.labels = append(im.labels, id) // fallback label
+	im.descs = append(im.descs, "")
+	return v
+}
+
+func (im *Importer) prop(pid string) int {
+	if i, ok := im.propIdx[pid]; ok {
+		return i
+	}
+	i := len(im.propIDs)
+	im.propIdx[pid] = i
+	im.propIDs = append(im.propIDs, pid)
+	im.propNames = append(im.propNames, "")
+	return i
+}
+
+// Read streams a dump. Lines that are pure array punctuation ("[", "]")
+// are skipped; trailing commas after entity objects are trimmed; empty
+// lines are ignored. A malformed entity aborts with its line number.
+func (im *Importer) Read(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // entities can be large
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSuffix(line, ",")
+		if line == "" || line == "[" || line == "]" {
+			continue
+		}
+		var e entity
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return fmt.Errorf("wikidata: line %d: %w", lineNo, err)
+		}
+		if err := im.entity(&e); err != nil {
+			return fmt.Errorf("wikidata: line %d (%s): %w", lineNo, e.ID, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (im *Importer) entity(e *entity) error {
+	if e.ID == "" {
+		return fmt.Errorf("entity without id")
+	}
+	switch e.Type {
+	case "property":
+		im.stats.Properties++
+		i := im.prop(e.ID)
+		if l, ok := e.Labels["en"]; ok {
+			im.propNames[i] = l.Value
+		}
+		return nil
+	case "item", "": // some exports omit type on items
+		im.stats.Entities++
+	default:
+		im.stats.Skipped++
+		return nil
+	}
+	v := im.node(e.ID)
+	im.defined[v] = true
+	if l, ok := e.Labels["en"]; ok {
+		im.labels[v] = l.Value
+	}
+	if d, ok := e.Descriptions["en"]; ok {
+		im.descs[v] = d.Value
+	}
+	for pid, claims := range e.Claims {
+		pi := im.prop(pid)
+		for _, c := range claims {
+			im.stats.Claims++
+			if c.Mainsnak.Snaktype != "value" || c.Mainsnak.Datavalue.Type != "wikibase-entityid" {
+				im.stats.Skipped++
+				continue
+			}
+			var tv entityIDValue
+			if err := json.Unmarshal(c.Mainsnak.Datavalue.Value, &tv); err != nil || tv.ID == "" {
+				im.stats.Skipped++
+				continue
+			}
+			im.edges = append(im.edges, pendingEdge{from: v, to: im.node(tv.ID), prop: pi})
+			im.stats.Edges++
+		}
+	}
+	return nil
+}
+
+// Build assembles the graph. Relationship names resolve to the property's
+// English label when the dump defined it, otherwise the property id.
+func (im *Importer) Build() (*graph.Graph, Stats, error) {
+	b := graph.NewBuilder()
+	for i, label := range im.labels {
+		b.AddNode(label, im.descs[i])
+		if !im.defined[graph.NodeID(i)] {
+			im.stats.Dangling++
+		}
+	}
+	rels := make([]graph.RelID, len(im.propIDs))
+	for i, pid := range im.propIDs {
+		name := im.propNames[i]
+		if name == "" {
+			name = pid
+		}
+		rels[i] = b.Rel(name)
+	}
+	for _, e := range im.edges {
+		b.AddEdge(e.from, e.to, rels[e.prop])
+	}
+	g, err := b.Build()
+	return g, im.stats, err
+}
+
+// ImportJSON reads a whole dump stream and builds the graph.
+func ImportJSON(r io.Reader) (*graph.Graph, Stats, error) {
+	im := NewImporter()
+	if err := im.Read(r); err != nil {
+		return nil, im.stats, err
+	}
+	return im.Build()
+}
+
+// ImportFile imports a dump file, transparently decompressing ".gz".
+func ImportFile(path string) (*graph.Graph, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("wikidata: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return ImportJSON(r)
+}

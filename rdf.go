@@ -1,0 +1,77 @@
+package wikisearch
+
+import (
+	"io"
+
+	"wikisearch/internal/ntriples"
+	"wikisearch/internal/wikidata"
+)
+
+// NTriplesStats summarizes an RDF import.
+type NTriplesStats struct {
+	Triples     int // triples parsed
+	Edges       int // object-property triples turned into graph edges
+	Labels      int // rdfs:label-style literals applied as node labels
+	Descs       int // description literals applied
+	SkippedLits int // other literal triples ignored
+	SkippedLang int // non-English language-tagged literals dropped
+}
+
+// ImportNTriples reads an RDF N-Triples stream (the export format of
+// Wikidata, Freebase, Yago and most triple stores) and builds a searchable
+// knowledge graph: object-property triples become labeled edges,
+// rdfs:label / skos:prefLabel / schema:name literals become node labels,
+// and schema:description / rdfs:comment literals become descriptions.
+func ImportNTriples(r io.Reader) (*Graph, NTriplesStats, error) {
+	im := ntriples.NewImporter()
+	if err := im.Read(r); err != nil {
+		return nil, NTriplesStats{}, err
+	}
+	g, st, err := im.Build()
+	return g, NTriplesStats{
+		Triples:     st.Triples,
+		Edges:       st.Edges,
+		Labels:      st.Labels,
+		Descs:       st.Descs,
+		SkippedLits: st.SkippedLits,
+		SkippedLang: st.SkippedLang,
+	}, err
+}
+
+// WikidataStats summarizes a Wikidata JSON dump import.
+type WikidataStats struct {
+	Entities   int // item entities parsed
+	Properties int // property entities parsed
+	Claims     int // statements examined
+	Edges      int // entity-valued statements turned into edges
+	Skipped    int // datatype-valued or valueless snaks skipped
+	Dangling   int // referenced-but-undefined entities materialized
+}
+
+func toWikidataStats(st wikidata.Stats) WikidataStats {
+	return WikidataStats{
+		Entities:   st.Entities,
+		Properties: st.Properties,
+		Claims:     st.Claims,
+		Edges:      st.Edges,
+		Skipped:    st.Skipped,
+		Dangling:   st.Dangling,
+	}
+}
+
+// ImportWikidataJSON reads a Wikidata JSON entity dump (the array-per-line
+// layout of dumps.wikimedia.org, or JSON-Lines) and builds a searchable
+// knowledge graph: items become nodes with their English labels and
+// descriptions, entity-valued statements become edges, and property
+// entities name the relationship types.
+func ImportWikidataJSON(r io.Reader) (*Graph, WikidataStats, error) {
+	g, st, err := wikidata.ImportJSON(r)
+	return g, toWikidataStats(st), err
+}
+
+// ImportWikidataFile imports a dump file, transparently decompressing
+// ".gz" — `wikigen -import dump.json.gz` uses this path.
+func ImportWikidataFile(path string) (*Graph, WikidataStats, error) {
+	g, st, err := wikidata.ImportFile(path)
+	return g, toWikidataStats(st), err
+}
