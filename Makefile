@@ -1,0 +1,26 @@
+# Standard checks for this repository. `make check` is the gate every
+# change must pass: vet plus the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build test vet race bench fmt
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+fmt:
+	gofmt -l -w .

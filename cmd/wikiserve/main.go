@@ -1,18 +1,24 @@
 // Command wikiserve exposes the engine as an HTTP JSON service — the
-// reproduction of the paper's online WikiSearch demo. See internal/server
-// for the endpoints.
+// reproduction of the paper's online WikiSearch demo, hardened with
+// request deadlines, concurrency limiting, result caching and a
+// Prometheus metrics endpoint. See internal/server for the endpoints.
 //
 // Usage:
 //
-//	wikiserve -kb wiki2017-sim.wskb -addr :8080
+//	wikiserve -kb wiki2017-sim.wskb -addr :8080 \
+//	    -timeout 5s -max-inflight 64 -cache 256
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"wikisearch"
@@ -21,8 +27,12 @@ import (
 
 func main() {
 	var (
-		kbPath = flag.String("kb", "", "knowledge-base dump produced by wikigen (required)")
-		addr   = flag.String("addr", ":8080", "listen address")
+		kbPath      = flag.String("kb", "", "knowledge-base dump produced by wikigen (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request search deadline (<=0 disables)")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrent searches before fast-fail 503 (<=0 disables)")
+		cacheSize   = flag.Int("cache", 256, "query-result cache entries (<=0 disables)")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
 	if *kbPath == "" {
@@ -33,12 +43,48 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s",
-		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr)
+	cfg := server.Config{
+		Timeout:     *timeout,
+		MaxInFlight: *maxInFlight,
+		CacheSize:   *cacheSize,
+		Logger:      log.Default(),
+	}
+	// The flag convention is <=0 disables; Config uses negative for that
+	// and 0 for defaults, so map explicitly.
+	if *timeout <= 0 {
+		cfg.Timeout = -1
+	}
+	if *maxInFlight <= 0 {
+		cfg.MaxInFlight = -1
+	}
+	if *cacheSize <= 0 {
+		cfg.CacheSize = -1
+	}
+	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s (timeout=%v max-inflight=%d cache=%d)",
+		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr,
+		*timeout, *maxInFlight, *cacheSize)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng),
+		Handler:           server.NewWithConfig(eng, cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("wikiserve: shutting down, draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("wikiserve: shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Print("wikiserve: bye")
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
@@ -68,8 +69,47 @@ type Engine struct {
 	stddev  float64
 
 	mu         sync.Mutex
-	levelCache map[float64][]uint8 // α → per-node activation levels
-	zeroLv     []uint8             // all-zero levels for the activation ablation
+	levelCache map[float64]*levelEntry // α → per-node activation levels
+	zeroLv     []uint8                 // all-zero levels for the activation ablation
+
+	// levelComputes counts level-vector computations (observability and
+	// the singleflight regression test).
+	levelComputes atomic.Int64
+
+	// observer, when set, is invoked after every SearchContext call with
+	// the outcome; the serving layer uses it to feed latency metrics.
+	observer atomic.Pointer[SearchObserver]
+}
+
+// levelEntry is one per-α cache slot. The sync.Once guarantees the level
+// vector is computed exactly once per α even under concurrent first
+// requests, and callers hold the entry pointer, so a concurrent cache
+// eviction can never drop a vector out from under an in-flight search.
+type levelEntry struct {
+	once sync.Once
+	lv   []uint8
+}
+
+// SearchObserver receives the outcome of every SearchContext call: the
+// query, the result (nil on error) and the error (nil on success). It must
+// be safe for concurrent use.
+type SearchObserver func(q Query, res *Result, err error)
+
+// SetSearchObserver installs (or, with nil, removes) the observer invoked
+// after every search. Safe to call concurrently with searches.
+func (e *Engine) SetSearchObserver(obs SearchObserver) {
+	if obs == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&obs)
+}
+
+// observe reports a search outcome to the installed observer, if any.
+func (e *Engine) observe(q Query, res *Result, err error) {
+	if p := e.observer.Load(); p != nil {
+		(*p)(q, res, err)
+	}
 }
 
 // NewEngine prepares an engine over g: builds the inverted index, computes
@@ -102,7 +142,7 @@ func LoadEngine(path string, o EngineOptions) (*Engine, error) {
 		weights:    d.Weights,
 		avgDist:    d.AvgDist,
 		stddev:     d.Deviation,
-		levelCache: map[float64][]uint8{},
+		levelCache: map[float64]*levelEntry{},
 	}
 	if e.ix == nil {
 		e.ix = text.BuildIndex(e.g)
@@ -126,7 +166,7 @@ func newEngineFrom(name string, g *Graph, w []float64, o EngineOptions) (*Engine
 		g:          g,
 		ix:         text.BuildIndex(g),
 		weights:    w,
-		levelCache: map[float64][]uint8{},
+		levelCache: map[float64]*levelEntry{},
 	}
 	if o.AvgDistance > 0 {
 		e.avgDist = o.AvgDistance
@@ -186,23 +226,31 @@ func (e *Engine) Weight(v NodeID) float64 { return e.weights[v] }
 func (e *Engine) Weights() []float64 { return e.weights }
 
 // activationLevels returns (computing and caching on first use) the
-// per-node minimum activation levels for α.
+// per-node minimum activation levels for α. Concurrent first requests for
+// the same α coordinate on one levelEntry, so the vector is computed
+// exactly once; eviction replaces the map but never an entry a caller
+// already holds.
 func (e *Engine) activationLevels(alpha float64, threads int) []uint8 {
 	e.mu.Lock()
-	lv, ok := e.levelCache[alpha]
-	e.mu.Unlock()
-	if ok {
-		return lv
+	ent, ok := e.levelCache[alpha]
+	if !ok {
+		if len(e.levelCache) >= 16 { // bound the cache; α values are few in practice
+			e.levelCache = map[float64]*levelEntry{}
+		}
+		ent = &levelEntry{}
+		e.levelCache[alpha] = ent
 	}
-	lv = weight.Levels(e.weights, e.avgDist, alpha, parallel.NewPool(threads))
-	e.mu.Lock()
-	if len(e.levelCache) > 16 { // bound the cache; α values are few in practice
-		e.levelCache = map[float64][]uint8{}
-	}
-	e.levelCache[alpha] = lv
 	e.mu.Unlock()
-	return lv
+	ent.once.Do(func() {
+		ent.lv = weight.Levels(e.weights, e.avgDist, alpha, parallel.NewPool(threads))
+		e.levelComputes.Add(1)
+	})
+	return ent.lv
 }
+
+// LevelComputations returns how many activation-level vectors have been
+// computed (cache misses); the per-α cache makes repeats free.
+func (e *Engine) LevelComputations() int64 { return e.levelComputes.Load() }
 
 // zeroLevels returns (caching) an all-zero activation vector for the
 // DisableActivation ablation.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -401,5 +402,95 @@ func TestActivationDistribution(t *testing.T) {
 	large := eng.ActivationDistribution(0.4, 5)
 	if large[0] < small[0] {
 		t.Fatalf("α=0.4 low-level mass %d < α=0.05's %d", large[0], small[0])
+	}
+}
+
+// TestActivationLevelsSingleflight is the regression test for the
+// duplicate-computation race: concurrent first requests with the same new
+// α must coordinate on one computation and share one level vector.
+func TestActivationLevelsSingleflight(t *testing.T) {
+	eng := newTestEngine(t)
+	const goroutines = 16
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		got   [goroutines][]uint8
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			got[g] = eng.activationLevels(0.33, 1)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := eng.LevelComputations(); n != 1 {
+		t.Fatalf("α=0.33 computed %d times, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if &got[g][0] != &got[0][0] {
+			t.Fatalf("goroutine %d got a different level vector", g)
+		}
+	}
+}
+
+// TestActivationLevelsEvictionSafety floods the cache past its bound while
+// readers hold entries; under -race this would flag the old drop-mid-flight
+// eviction, and every caller must still get a complete vector.
+func TestActivationLevelsEvictionSafety(t *testing.T) {
+	eng := newTestEngine(t)
+	n := eng.Graph().NumNodes()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				alpha := 0.01 + 0.01*float64((g*40+i)%37)
+				if lv := eng.activationLevels(alpha, 1); len(lv) != n {
+					t.Errorf("α=%v: vector len %d, want %d", alpha, len(lv), n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSearchObserver(t *testing.T) {
+	eng := newTestEngine(t)
+	var (
+		mu   sync.Mutex
+		oks  int
+		errs int
+	)
+	eng.SetSearchObserver(func(q Query, res *Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs++
+			return
+		}
+		if res == nil || len(res.Phases) == 0 {
+			t.Error("observer got a success with no phase profile")
+		}
+		oks++
+	})
+	if _, err := eng.Search(Query{Text: "xml rdf sql"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(Query{Text: "zzznothing"}); err == nil {
+		t.Fatal("want error for unmatched keyword")
+	}
+	mu.Lock()
+	if oks != 1 || errs != 1 {
+		t.Fatalf("observer saw %d ok / %d err, want 1/1", oks, errs)
+	}
+	mu.Unlock()
+	eng.SetSearchObserver(nil) // removal must not panic searches
+	if _, err := eng.Search(Query{Text: "xml rdf sql"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,310 @@
+// Package metrics is a dependency-free instrumentation layer for the
+// search service: counters, gauges and latency histograms, registered in a
+// Registry that renders the Prometheus text exposition format. The DKWS
+// system (Jiang et al., 2023) argues that serving keyword search at scale
+// needs the request lifecycle monitored as carefully as the algorithm; this
+// package is that measurement surface, built on sync/atomic only so the
+// hot path costs a handful of atomic adds.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// sub-millisecond cache hits through multi-second deadline territory.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// Observations and rendering are lock-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// atomicFloat is a float64 accumulated with compare-and-swap.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// metricKind tags a family for the # TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one named metric with zero or more labeled children.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label name for vec families, "" for scalars
+
+	mu       sync.Mutex
+	order    []string // label values in creation order
+	children map[string]any
+	bounds   []float64 // histogram families only
+}
+
+func (f *family) child(labelValue string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labelValue]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case kindCounter:
+		c = &Counter{}
+	case kindGauge:
+		c = &Gauge{}
+	case kindHistogram:
+		c = newHistogram(f.bounds)
+	}
+	f.children[labelValue] = c
+	f.order = append(f.order, labelValue)
+	return c
+}
+
+// CounterVec is a family of counters partitioned by one label.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the label value.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return v.f.child(labelValue).(*Counter)
+}
+
+// HistogramVec is a family of histograms partitioned by one label.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for the label value.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.child(labelValue).(*Histogram)
+}
+
+// Registry holds metric families and renders them in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, label string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different metric", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind, label: label,
+		children: map[string]any{}, bounds: bounds,
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, "", nil).child("").(*Counter)
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, "", nil).child("").(*Gauge)
+}
+
+// Histogram registers (or returns the existing) histogram. Nil buckets
+// select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, "", buckets)
+	return f.child("").(*Histogram)
+}
+
+// CounterVec registers (or returns the existing) counter family keyed by
+// one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, label, nil)}
+}
+
+// HistogramVec registers (or returns the existing) histogram family keyed
+// by one label. Nil buckets select DefBuckets.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, label, buckets)}
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition, suitable for
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	order := append([]string(nil), f.order...)
+	children := make([]any, len(order))
+	for i, lv := range order {
+		children[i] = f.children[lv]
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for i, lv := range order {
+		switch c := children[i].(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, f.labels(lv, ""), c.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, f.labels(lv, ""), c.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for j, bound := range c.bounds {
+				cum += c.counts[j].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, f.labels(lv, formatBound(bound)), cum)
+			}
+			cum += c.counts[len(c.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, f.labels(lv, "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, f.labels(lv, ""), formatFloat(c.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, f.labels(lv, ""), c.Count())
+		}
+	}
+}
+
+// labels renders the label block for one series: the family label (if any)
+// plus the histogram le bound (if any).
+func (f *family) labels(labelValue, le string) string {
+	var parts []string
+	if f.label != "" {
+		// %q escapes backslash, quote and newline exactly as the
+		// Prometheus text format requires.
+		parts = append(parts, fmt.Sprintf("%s=%q", f.label, labelValue))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("le=%q", le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

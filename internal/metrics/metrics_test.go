@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if g.Value() != 11 {
+		t.Fatalf("gauge = %d, want 11", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+	// Re-registering the same name returns the same metric.
+	if r.Counter("c_total", "a counter").Value() != 5 {
+		t.Fatal("re-registration lost the counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestVecsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("http_requests_total", "requests by code", "code")
+	reqs.With("200").Add(7)
+	reqs.With("503").Inc()
+	phases := r.HistogramVec("phase_seconds", "per-phase latency", "phase", []float64{0.001, 1})
+	phases.With("Expansion").Observe(0.5)
+	phases.With("Top-down Processing").Observe(0.0001)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# HELP http_requests_total requests by code",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200"} 7`,
+		`http_requests_total{code="503"} 1`,
+		`phase_seconds_bucket{phase="Expansion",le="1"} 1`,
+		`phase_seconds_bucket{phase="Top-down Processing",le="0.001"} 1`,
+		`phase_seconds_count{phase="Expansion"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("h_seconds", "", nil)
+	v := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				v.With([]string{"a", "b", "c"}[i%3]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	total := v.With("a").Value() + v.With("b").Value() + v.With("c").Value()
+	if total != 8000 {
+		t.Fatalf("vec total = %d, want 8000", total)
+	}
+}

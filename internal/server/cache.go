@@ -1,0 +1,164 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	"wikisearch"
+	"wikisearch/internal/text"
+)
+
+// cacheKey identifies one logically identical search. Terms are the
+// normalized keyword terms (tokenized, stopword-filtered, stemmed,
+// deduplicated), so "SQL rdf" and "rdf, sql, SQL!" that normalize alike
+// share an entry — but only together with identical k, α, λ and variant.
+type cacheKey struct {
+	terms   string
+	k       int
+	alpha   float64
+	lambda  float64
+	variant wikisearch.Variant
+}
+
+// cacheKeyFor derives the cache key for a query. ok is false when the
+// query has no keywords after normalization; such queries always error and
+// bypass the cache so the engine can report why.
+func cacheKeyFor(q wikisearch.Query) (key cacheKey, ok bool) {
+	terms := text.QueryTerms(q.Text)
+	if len(terms) == 0 {
+		return cacheKey{}, false
+	}
+	return cacheKey{
+		terms:   strings.Join(terms, "\x1f"),
+		k:       q.TopK,
+		alpha:   q.Alpha,
+		lambda:  q.Lambda,
+		variant: q.Variant,
+	}, true
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *wikisearch.Result
+}
+
+// inflightCall is one in-progress search that concurrent identical
+// requests wait on instead of duplicating the work.
+type inflightCall struct {
+	done chan struct{} // closed when res/err are set
+	res  *wikisearch.Result
+	err  error
+}
+
+// resultCache is a bounded LRU of search results with singleflight
+// deduplication: at most one engine search runs per key at a time, and
+// results are shared. Search results are immutable once returned, so
+// sharing the *Result across requests is safe.
+type resultCache struct {
+	max int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+	calls map[cacheKey]*inflightCall
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: map[cacheKey]*list.Element{},
+		calls: map[cacheKey]*inflightCall{},
+	}
+}
+
+// do returns the cached result for key, or runs fn to compute it. hit
+// reports whether the result came from the cache or from another
+// in-flight identical request. Waiters give up when their own ctx fires.
+func (c *resultCache) do(ctx context.Context, key cacheKey, fn func() (*wikisearch.Result, error)) (res *wikisearch.Result, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			if call.err == nil {
+				return call.res, true, nil
+			}
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				// The leader's request died on its own context; that is
+				// not this request's fate. Search on our own context.
+				res, err := fn()
+				return res, false, err
+			}
+			return nil, true, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.calls[key] = call
+	c.mu.Unlock()
+
+	call.res, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if call.err == nil {
+		c.store(key, call.res)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.res, false, call.err
+}
+
+// store inserts under c.mu, evicting the least recently used entry past
+// the bound.
+func (c *resultCache) store(key cacheKey, res *wikisearch.Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// get reports the cached result without side effects beyond LRU ordering.
+func (c *resultCache) get(key cacheKey) (*wikisearch.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// purge drops every cached entry (in-flight searches are unaffected).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[cacheKey]*list.Element{}
+}

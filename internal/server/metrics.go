@@ -1,0 +1,78 @@
+package server
+
+import (
+	"strconv"
+
+	"wikisearch"
+	"wikisearch/internal/metrics"
+)
+
+// serverMetrics is the service's measurement surface, exposed at
+// GET /metrics in Prometheus text format. Per-phase search latency comes
+// straight from the engine's Result.Phases profile (Fig. 6/7 of the paper)
+// through the search observer, so every later performance PR can read its
+// effect off the histograms.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests   *metrics.CounterVec // by status code
+	inFlight   *metrics.Gauge      // searches currently executing
+	limited    *metrics.Counter    // fast-fail 503 rejections
+	timeouts   *metrics.Counter    // searches past the deadline (504)
+	clientGone *metrics.Counter    // requests abandoned by the client
+	panics     *metrics.Counter    // recovered handler panics
+
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+
+	searchSeconds *metrics.Histogram    // engine-side total search time
+	phaseSeconds  *metrics.HistogramVec // per-phase profile, by phase name
+	searchErrors  *metrics.Counter      // engine searches that returned an error
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		requests: r.CounterVec("wikisearch_http_requests_total",
+			"HTTP requests served, by status code.", "code"),
+		inFlight: r.Gauge("wikisearch_http_in_flight",
+			"Search requests currently being served."),
+		limited: r.Counter("wikisearch_http_limited_total",
+			"Search requests rejected with 503 by the concurrency limiter."),
+		timeouts: r.Counter("wikisearch_http_timeouts_total",
+			"Search requests that exceeded the per-request deadline."),
+		clientGone: r.Counter("wikisearch_http_client_gone_total",
+			"Search requests abandoned because the client disconnected."),
+		panics: r.Counter("wikisearch_http_panics_total",
+			"Handler panics recovered by the middleware."),
+		cacheHits: r.Counter("wikisearch_cache_hits_total",
+			"Searches served from the query-result cache (including deduplicated concurrent queries)."),
+		cacheMisses: r.Counter("wikisearch_cache_misses_total",
+			"Searches that had to run the engine."),
+		searchSeconds: r.Histogram("wikisearch_search_seconds",
+			"Engine search latency (sum of all phases).", nil),
+		phaseSeconds: r.HistogramVec("wikisearch_search_phase_seconds",
+			"Engine search latency per algorithm phase.", "phase", nil),
+		searchErrors: r.Counter("wikisearch_search_errors_total",
+			"Engine searches that returned an error."),
+	}
+}
+
+// observeSearch is installed as the engine's SearchObserver: every
+// SearchContext outcome feeds the latency histograms.
+func (m *serverMetrics) observeSearch(_ wikisearch.Query, res *wikisearch.Result, err error) {
+	if err != nil {
+		m.searchErrors.Inc()
+		return
+	}
+	m.searchSeconds.Observe(res.Total.Seconds())
+	for phase, d := range res.Phases {
+		m.phaseSeconds.With(phase).Observe(d.Seconds())
+	}
+}
+
+// countRequest records one served request by status code.
+func (m *serverMetrics) countRequest(code int) {
+	m.requests.With(strconv.Itoa(code)).Inc()
+}

@@ -1,48 +1,124 @@
 // Package server implements the HTTP JSON search service behind
-// cmd/wikiserve — the reproduction of the paper's online WikiSearch demo.
+// cmd/wikiserve — the reproduction of the paper's online WikiSearch demo,
+// hardened for production traffic: per-request deadlines, concurrency
+// limiting with fast-fail backpressure, an LRU query-result cache with
+// singleflight deduplication, panic recovery, access logging with request
+// IDs, and a Prometheus-format metrics endpoint.
 //
 // Endpoints:
 //
-//	GET /search?q=<keywords>&k=20&alpha=0.1&variant=cpu   JSON answers
-//	GET /stats                                            dataset statistics
-//	GET /healthz                                          liveness
-//	GET /                                                 minimal HTML page
+//	GET /search?q=<keywords>&k=20&alpha=0.1&lambda=0.2&variant=cpu   JSON answers
+//	GET /stats                                                       dataset statistics
+//	GET /metrics                                                     Prometheus text metrics
+//	GET /healthz                                                     liveness
+//	GET /                                                            minimal HTML page
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"wikisearch"
 )
 
-// Server serves search requests over one prepared engine. The engine is
-// safe for concurrent searches, so Server needs no locking of its own.
-type Server struct {
-	eng *wikisearch.Engine
-	mux *http.ServeMux
+// Config tunes the request lifecycle. The zero value selects production
+// defaults; negative values disable the corresponding control.
+type Config struct {
+	// Timeout bounds each search request (default 5s; negative disables).
+	Timeout time.Duration
+	// MaxInFlight bounds concurrent searches; excess requests fail fast
+	// with 503 (default 64; negative disables).
+	MaxInFlight int
+	// CacheSize bounds the query-result LRU in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// Logger receives access log lines and panics (default log.Default()).
+	Logger *log.Logger
 }
 
-// New builds a Server over the engine.
-func New(eng *wikisearch.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /search", s.handleSearch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server serves search requests over one prepared engine. The engine is
+// safe for concurrent searches; Server adds the request lifecycle around
+// it.
+type Server struct {
+	eng       *wikisearch.Engine
+	cfg       Config
+	mux       *http.ServeMux
+	log       *log.Logger
+	met       *serverMetrics
+	cache     *resultCache  // nil when disabled
+	sem       chan struct{} // nil when unlimited
+	nextReqID atomic.Uint64
+}
+
+// New builds a Server over the engine with default Config.
+func New(eng *wikisearch.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig builds a Server over the engine. It installs a search
+// observer on the engine that feeds the per-phase latency histograms.
+func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng: eng,
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		log: cfg.Logger,
+		met: newServerMetrics(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	eng.SetSearchObserver(s.met.observeSearch)
+	s.mux.Handle("GET /search", s.instrument(http.HandlerFunc(s.handleSearch), true))
+	s.mux.Handle("GET /{$}", s.instrument(http.HandlerFunc(s.handleIndex), true))
+	s.mux.Handle("GET /stats", s.instrument(http.HandlerFunc(s.handleStats), false))
+	s.mux.Handle("GET /metrics", s.instrument(s.met.reg.Handler(), false))
+	s.mux.Handle("GET /healthz", s.instrument(http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		}), false))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// PurgeCache drops every cached query result (for when the engine's
+// underlying data is swapped).
+func (s *Server) PurgeCache() {
+	if s.cache != nil {
+		s.cache.purge()
+	}
+}
 
 // SearchResponse is the /search payload.
 type SearchResponse struct {
@@ -51,6 +127,7 @@ type SearchResponse struct {
 	Depth      int             `json:"depth"`
 	Candidates int             `json:"candidates"`
 	TotalMs    float64         `json:"total_ms"`
+	Cached     bool            `json:"cached"`
 	Answers    []AnswerPayload `json:"answers"`
 }
 
@@ -87,20 +164,60 @@ type StatsResponse struct {
 	Vocabulary  int     `json:"vocabulary"`
 }
 
+// search runs one query through the cache (when enabled): repeated
+// identical queries are served from the LRU, and concurrent identical
+// queries share a single engine search.
+func (s *Server) search(ctx context.Context, q wikisearch.Query) (res *wikisearch.Result, hit bool, err error) {
+	key, ok := cacheKey{}, false
+	if s.cache != nil {
+		key, ok = cacheKeyFor(q)
+	}
+	if !ok {
+		res, err = s.eng.SearchContext(ctx, q)
+		return res, false, err
+	}
+	res, hit, err = s.cache.do(ctx, key, func() (*wikisearch.Result, error) {
+		return s.eng.SearchContext(ctx, q)
+	})
+	if hit {
+		s.met.cacheHits.Inc()
+	} else {
+		s.met.cacheMisses.Inc()
+	}
+	return res, hit, err
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		s.error(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	k := intParam(r, "k", 20)
+	k, err := intParam(r, "k", 20)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "k must be an integer")
+		return
+	}
 	if k < 1 || k > 200 {
 		s.error(w, http.StatusBadRequest, "k must be in [1,200]")
 		return
 	}
-	alpha := floatParam(r, "alpha", 0.1)
+	alpha, err := floatParam(r, "alpha", 0.1)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "alpha must be a number")
+		return
+	}
 	if alpha <= 0 || alpha >= 1 {
 		s.error(w, http.StatusBadRequest, "alpha must be in (0,1)")
+		return
+	}
+	lambda, err := floatParam(r, "lambda", 0.2)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "lambda must be a number")
+		return
+	}
+	if lambda <= 0 || lambda > 1 {
+		s.error(w, http.StatusBadRequest, "lambda must be in (0,1]")
 		return
 	}
 	variant := wikisearch.CPUPar
@@ -116,10 +233,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, "variant must be cpu, cpu-d, gpu or seq")
 		return
 	}
-	res, err := s.eng.SearchContext(r.Context(), wikisearch.Query{Text: q, TopK: k, Alpha: alpha, Variant: variant})
+	res, hit, err := s.search(r.Context(), wikisearch.Query{
+		Text: q, TopK: k, Alpha: alpha, Lambda: lambda, Variant: variant,
+	})
 	if err != nil {
-		s.error(w, http.StatusUnprocessableEntity, err.Error())
+		s.searchError(w, err)
 		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
 	}
 	resp := SearchResponse{
 		Query:      q,
@@ -127,6 +251,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Depth:      res.Depth,
 		Candidates: res.Candidates,
 		TotalMs:    float64(res.Total) / float64(time.Millisecond),
+		Cached:     hit,
 	}
 	for i := range res.Answers {
 		a := &res.Answers[i]
@@ -142,6 +267,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Answers = append(resp.Answers, ap)
 	}
 	s.json(w, http.StatusOK, resp)
+}
+
+// searchError maps a SearchContext error to the right response: deadline
+// overruns are the server's fault (504), a vanished client gets no
+// response at all, and everything else is an unprocessable query (422).
+func (s *Server) searchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.met.clientGone.Inc() // client gone; drop the write
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Inc()
+		s.error(w, http.StatusGatewayTimeout, "search deadline exceeded")
+	default:
+		s.error(w, http.StatusUnprocessableEntity, err.Error())
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -164,11 +304,27 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if q == "" {
 		return
 	}
-	res, err := s.eng.Search(wikisearch.Query{Text: q})
+	// Defaults match /search's, so both endpoints share cache entries.
+	res, _, err := s.search(r.Context(), wikisearch.Query{
+		Text: q, TopK: 20, Alpha: 0.1, Lambda: 0.2, Variant: wikisearch.CPUPar,
+	})
 	if err != nil {
-		fmt.Fprintf(w, "<p>error: %s</p>", html.EscapeString(err.Error()))
+		switch {
+		case errors.Is(err, context.Canceled):
+			// Client gone; nothing to render.
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprint(w, "<p>error: search deadline exceeded</p>")
+		default:
+			fmt.Fprintf(w, "<p>error: %s</p>", html.EscapeString(err.Error()))
+		}
 		return
 	}
+	renderAnswers(w, res)
+}
+
+// renderAnswers writes the index page's result list. Every string that
+// originates in graph data or the user's query is HTML-escaped.
+func renderAnswers(w io.Writer, res *wikisearch.Result) {
 	fmt.Fprintf(w, "<p>%d answers in %v (d=%d, %d candidates)</p><ol>",
 		len(res.Answers), res.Total.Round(time.Microsecond), res.Depth, res.Candidates)
 	for i := range res.Answers {
@@ -178,7 +334,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		for _, n := range a.Nodes {
 			kw := ""
 			if len(n.Keywords) > 0 {
-				kw = fmt.Sprintf(" <i>{%v}</i>", n.Keywords)
+				kw = fmt.Sprintf(" <i>{%s}</i>", html.EscapeString(strings.Join(n.Keywords, " ")))
 			}
 			fmt.Fprintf(w, "<li>%s%s</li>", html.EscapeString(n.Label), kw)
 		}
@@ -193,7 +349,7 @@ func (s *Server) json(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("server: encode: %v", err)
+		s.log.Printf("server: encode: %v", err)
 	}
 }
 
@@ -201,18 +357,23 @@ func (s *Server) error(w http.ResponseWriter, code int, msg string) {
 	s.json(w, code, map[string]string{"error": msg})
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	v, err := strconv.Atoi(r.URL.Query().Get(name))
-	if err != nil {
-		return def
+// intParam parses an integer query parameter. An absent parameter yields
+// the default; a present but malformed one is an error, so clients hear
+// about typos instead of silently getting default behavior.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
 	}
-	return v
+	return strconv.Atoi(raw)
 }
 
-func floatParam(r *http.Request, name string, def float64) float64 {
-	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
-	if err != nil {
-		return def
+// floatParam parses a float query parameter with the same absent-versus-
+// malformed distinction as intParam.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
 	}
-	return v
+	return strconv.ParseFloat(raw, 64)
 }

@@ -1,16 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"wikisearch"
 )
 
-func testServer(t *testing.T) *Server {
+func testEngine(t *testing.T) *wikisearch.Engine {
 	t.Helper()
 	b := wikisearch.NewBuilder()
 	sql := b.AddNode("SQL", "query language for relational databases")
@@ -31,7 +36,24 @@ func testServer(t *testing.T) *Server {
 		t.Fatal(err)
 	}
 	eng.SetName("test-kb")
-	return New(eng)
+	return eng
+}
+
+func quietConfig() Config {
+	return Config{Logger: log.New(io.Discard, "", 0)}
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	return NewWithConfig(testEngine(t), quietConfig())
+}
+
+func testServerWith(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	return NewWithConfig(testEngine(t), cfg)
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
@@ -108,6 +130,7 @@ func TestSearchValidation(t *testing.T) {
 		{"/search?q=xml&k=9999", http.StatusBadRequest},           // bad k
 		{"/search?q=xml&alpha=0", http.StatusBadRequest},          // bad alpha
 		{"/search?q=xml&alpha=1.5", http.StatusBadRequest},        // bad alpha
+		{"/search?q=xml&lambda=0", http.StatusBadRequest},         // bad lambda
 		{"/search?q=xml&variant=tpu", http.StatusBadRequest},      // bad variant
 		{"/search?q=zzzznothing", http.StatusUnprocessableEntity}, // unmatched keyword
 		{"/search?q=the+of+and", http.StatusUnprocessableEntity},  // stopwords only
@@ -121,6 +144,60 @@ func TestSearchValidation(t *testing.T) {
 		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
 			t.Errorf("%s: missing error payload: %s", c.path, w.Body)
 		}
+	}
+}
+
+// TestMalformedParamsRejected is the regression test for the silent
+// parameter fallback: k=abc used to behave as if k were omitted; it must
+// be a 400 so clients hear about their typos.
+func TestMalformedParamsRejected(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/search?q=xml&k=abc",
+		"/search?q=xml&k=1.5",
+		"/search?q=xml&alpha=x",
+		"/search?q=xml&lambda=x",
+	} {
+		w := get(t, s, path)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", path, w.Code, w.Body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: missing error payload: %s", path, w.Body)
+		}
+	}
+	// Absent parameters still select the defaults.
+	if w := get(t, s, "/search?q=xml"); w.Code != http.StatusOK {
+		t.Fatalf("absent params: status = %d body %s", w.Code, w.Body)
+	}
+}
+
+// TestDeadlineExceededMaps504 is the regression test for context errors
+// being reported as 422 "unprocessable": a search that overran the
+// deadline is the server's failure, not the query's.
+func TestDeadlineExceededMaps504(t *testing.T) {
+	s := testServerWith(t, Config{Timeout: time.Nanosecond})
+	w := get(t, s, "/search?q=xml+rdf+sql")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "deadline") {
+		t.Fatalf("body = %s", w.Body)
+	}
+}
+
+// TestClientCancelDropsWrite: when the client is gone there is nobody to
+// answer; the handler must not write a 422 error payload into the void.
+func TestClientCancelDropsWrite(t *testing.T) {
+	s := testServerWith(t, Config{Timeout: -1}) // isolate cancellation from the deadline
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/search?q=xml+rdf+sql", nil).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Body.Len() != 0 {
+		t.Fatalf("wrote %q to a cancelled client", w.Body)
 	}
 }
 
@@ -138,6 +215,210 @@ func TestIndexPage(t *testing.T) {
 	w = get(t, s, "/?q=%3Cscript%3Ealert(1)%3C%2Fscript%3E")
 	if strings.Contains(w.Body.String(), "<script>") {
 		t.Fatal("query text not escaped")
+	}
+}
+
+// TestRenderAnswersEscapesKeywords is the regression test for the XSS in
+// the index page: answer-node keywords were rendered with %v and no
+// escaping. Keywords derive from the user's query, so any HTML in them
+// must come out inert.
+func TestRenderAnswersEscapesKeywords(t *testing.T) {
+	res := &wikisearch.Result{
+		Answers: []wikisearch.Answer{{
+			CentralLabel: "<b>central</b>",
+			Nodes: []wikisearch.AnswerNode{{
+				Label:    "<img src=x onerror=alert(1)>",
+				Keywords: []string{"<script>alert(1)</script>", "sql"},
+			}},
+		}},
+	}
+	var b strings.Builder
+	renderAnswers(&b, res)
+	out := b.String()
+	for _, bad := range []string{"<script>", "<img", "<b>central</b>"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unescaped %q in rendered HTML:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "&lt;script&gt;alert(1)&lt;/script&gt; sql") {
+		t.Errorf("escaped keywords missing from:\n%s", out)
+	}
+}
+
+// TestIndexHonorsRequestContext is the regression test for handleIndex
+// calling Search with no context: under a tiny server deadline the page
+// must report the timeout instead of happily searching forever.
+func TestIndexHonorsRequestContext(t *testing.T) {
+	s := testServerWith(t, Config{Timeout: time.Nanosecond})
+	w := get(t, s, "/?q=xml+rdf+sql")
+	if !strings.Contains(w.Body.String(), "deadline") {
+		t.Fatalf("index ignored the request deadline: %s", w.Body)
+	}
+	if strings.Contains(w.Body.String(), "answers in") {
+		t.Fatalf("results rendered past the deadline: %s", w.Body)
+	}
+}
+
+func TestCacheHitIsServedAndFaster(t *testing.T) {
+	s := testServer(t)
+	const path = "/search?q=xml+rdf+sql&k=5"
+
+	start := time.Now()
+	w := get(t, s, path)
+	cold := time.Since(start)
+	if w.Code != http.StatusOK || w.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("cold: code %d X-Cache %q", w.Code, w.Header().Get("X-Cache"))
+	}
+	coldBody := w.Body.String()
+
+	warm := cold
+	var warmBody string
+	for i := 0; i < 5; i++ {
+		start = time.Now()
+		w = get(t, s, path)
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+		if w.Code != http.StatusOK || w.Header().Get("X-Cache") != "HIT" {
+			t.Fatalf("warm %d: code %d X-Cache %q", i, w.Code, w.Header().Get("X-Cache"))
+		}
+		warmBody = w.Body.String()
+	}
+	if warm > cold {
+		t.Errorf("cache hit took %v, cold search took %v", warm, cold)
+	}
+	// The payload is identical except the cached flag.
+	var coldResp, warmResp SearchResponse
+	if err := json.Unmarshal([]byte(coldBody), &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(warmBody), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	if coldResp.Cached || !warmResp.Cached {
+		t.Fatalf("cached flags: cold %v warm %v", coldResp.Cached, warmResp.Cached)
+	}
+	if len(warmResp.Answers) != len(coldResp.Answers) {
+		t.Fatalf("answers differ: cold %d warm %d", len(coldResp.Answers), len(warmResp.Answers))
+	}
+	// Differently normalized but identical queries share the entry.
+	w = get(t, s, "/search?q=XML,+rdf...+SQL&k=5")
+	if w.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("normalized-equal query missed the cache (X-Cache %q)", w.Header().Get("X-Cache"))
+	}
+	// A different k is a different search.
+	w = get(t, s, "/search?q=xml+rdf+sql&k=6")
+	if w.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("k=6 unexpectedly hit the k=5 entry")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	// Generate traffic: two cold searches, one repeat (cache hit), one
+	// unprocessable query, one bad request.
+	for _, path := range []string{
+		"/search?q=xml+rdf+sql",
+		"/search?q=sparql+rdf",
+		"/search?q=xml+rdf+sql",
+		"/search?q=zzzznothing",
+		"/search?q=xml&k=abc",
+	} {
+		get(t, s, path)
+	}
+	w := get(t, s, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := w.Body.String()
+	for _, want := range []string{
+		`wikisearch_http_requests_total{code="200"} 3`,
+		`wikisearch_http_requests_total{code="422"} 1`,
+		`wikisearch_http_requests_total{code="400"} 1`,
+		"wikisearch_http_in_flight 0",
+		"wikisearch_cache_hits_total 1",
+		"wikisearch_cache_misses_total 3", // two OK searches + the unmatched-keyword one
+		"wikisearch_search_errors_total 1",
+		"wikisearch_search_seconds_count 2",
+		`wikisearch_search_phase_seconds_bucket{phase="Expansion",le="+Inf"} 2`,
+		`wikisearch_search_phase_seconds_bucket{phase="Top-down Processing",le="+Inf"} 2`,
+		"# TYPE wikisearch_search_phase_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+// TestLimiterFastFail exercises the admission control: with one slot
+// occupied, the next search is rejected immediately with 503.
+func TestLimiterFastFail(t *testing.T) {
+	s := testServerWith(t, Config{MaxInFlight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enteredOnce sync.Once
+	h := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		enteredOnce.Do(func() { close(entered) })
+		<-release // closed after the 503 check; later calls pass through
+		w.WriteHeader(http.StatusOK)
+	}))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/search?q=xml", nil))
+	}()
+	<-entered // the slot is held
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/search?q=xml", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	close(release)
+	<-done
+
+	// The slot is free again.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/search?q=xml", nil))
+	if w.Code == http.StatusServiceUnavailable {
+		t.Fatal("limiter leaked its slot")
+	}
+	if got := s.met.limited.Value(); got != 1 {
+		t.Fatalf("limited counter = %d, want 1", got)
+	}
+}
+
+func TestRequestIDsAssigned(t *testing.T) {
+	s := testServer(t)
+	a := get(t, s, "/healthz").Header().Get("X-Request-ID")
+	b := get(t, s, "/healthz").Header().Get("X-Request-ID")
+	if a == "" || b == "" || a == b {
+		t.Fatalf("request ids = %q, %q", a, b)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := testServer(t)
+	h := s.instrument(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}), false)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/x", nil)) // must not crash the test binary
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", w.Code)
+	}
+	if s.met.panics.Value() != 1 {
+		t.Fatalf("panics counter = %d, want 1", s.met.panics.Value())
 	}
 }
 

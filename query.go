@@ -144,7 +144,16 @@ func (e *Engine) Search(q Query) (*Result, error) {
 
 // SearchContext answers a keyword query, aborting between search levels if
 // ctx is cancelled (the online service uses this for request deadlines).
+// The outcome — including errors — is reported to the observer installed
+// with SetSearchObserver, which the serving layer uses to feed per-phase
+// latency histograms.
 func (e *Engine) SearchContext(ctx context.Context, q Query) (*Result, error) {
+	res, err := e.searchContext(ctx, q)
+	e.observe(q, res, err)
+	return res, err
+}
+
+func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 	in, terms, err := e.prepare(q.Text)
 	if err != nil {
 		return nil, err
