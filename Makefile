@@ -1,11 +1,12 @@
 # Standard checks for this repository. `make check` is the gate every
-# change must pass: vet plus the full test suite under the race detector.
+# change must pass: vet, the full test suite under the race detector, and
+# the allocation guards (which skip under -race, so they get a plain run).
 
 GO ?= go
 
-.PHONY: check build test vet race bench fmt
+.PHONY: check build test vet race bench allocguard fmt
 
-check: vet race
+check: vet race allocguard
 
 build:
 	$(GO) build ./...
@@ -19,8 +20,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The zero-allocation guards use testing.AllocsPerRun, which the race
+# detector's instrumentation would break, so they skip under -race and run
+# here without it.
+allocguard:
+	$(GO) test -run AllocationFree -count=1 . ./internal/core
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) run ./cmd/benchrunner -exp core -core-out BENCH_core.json
 
 fmt:
 	gofmt -l -w .

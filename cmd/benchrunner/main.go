@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling or 'all' (blinks and scaling are opt-in)")
+		exp     = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core or 'all' (blinks, scaling and core are opt-in)")
 		dataset = flag.String("dataset", "wiki2017-sim", "dataset for single-dataset experiments (exp1..exp4)")
 		queries = flag.Int("queries", 10, "queries averaged per setting (paper: 50)")
 		threads = flag.Int("threads", 8, "Tnum for efficiency experiments (paper default: 30)")
 		visits  = flag.Int("banks-visits", 100000, "BANKS-II visit cap per query (analogue of the paper's 500s timeout)")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		coreOut = flag.String("core-out", "BENCH_core.json", "output path for the core kernel benchmark (-exp core)")
 	)
 	flag.Parse()
 
@@ -201,6 +202,19 @@ func main() {
 			fmt.Sprintf("%.1fGB", float64(rep.ProjectedBytes)/(1<<30)),
 		})
 		show(t)
+	}
+	if want["core"] { // opt-in kernel micro-benchmark (not part of 'all')
+		fmt.Fprintln(os.Stderr, "running core kernel benchmark...")
+		rep, err := bench.CoreBench(bench.CoreBenchConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		show(rep.Table())
+		show(rep.SpeedupTable())
+		if err := bench.WriteCoreBench(*coreOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *coreOut)
 	}
 	if want["scaling"] { // opt-in: generates several graphs (not part of 'all')
 		t, _, err := bench.Scaling(cfg, nil)

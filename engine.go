@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wikisearch/internal/core"
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
 	"wikisearch/internal/storage"
@@ -76,6 +77,14 @@ type Engine struct {
 	// the singleflight regression test).
 	levelComputes atomic.Int64
 
+	// states recycles per-query search state (matrix, bitsets, frontier
+	// buffers, worker pool) across CPU-Par/Sequential searches, so
+	// steady-state serving does not re-allocate the O(n·q) kernel arrays
+	// per query. stateNews/stateReuses expose the pool's effectiveness.
+	states      sync.Pool
+	stateNews   atomic.Int64
+	stateReuses atomic.Int64
+
 	// observer, when set, is invoked after every SearchContext call with
 	// the outcome; the serving layer uses it to feed latency metrics.
 	observer atomic.Pointer[SearchObserver]
@@ -120,6 +129,7 @@ func NewEngine(g *Graph, o EngineOptions) (*Engine, error) {
 		return nil, fmt.Errorf("wikisearch: nil graph")
 	}
 	pool := parallel.NewPool(o.Threads)
+	defer pool.Close()
 	w := weight.Compute(g, pool)
 	return newEngineFrom("", g, w, o)
 }
@@ -242,10 +252,34 @@ func (e *Engine) activationLevels(alpha float64, threads int) []uint8 {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.lv = weight.Levels(e.weights, e.avgDist, alpha, parallel.NewPool(threads))
+		pool := parallel.NewPool(threads)
+		defer pool.Close()
+		ent.lv = weight.Levels(e.weights, e.avgDist, alpha, pool)
 		e.levelComputes.Add(1)
 	})
 	return ent.lv
+}
+
+// acquireState takes a reusable search state from the engine's pool, or
+// creates one on first use / after GC eviction.
+func (e *Engine) acquireState() *core.SearchState {
+	if st, ok := e.states.Get().(*core.SearchState); ok {
+		e.stateReuses.Add(1)
+		return st
+	}
+	e.stateNews.Add(1)
+	return core.NewSearchState()
+}
+
+// releaseState returns a search state to the pool for the next query.
+// States evicted by the GC release their worker goroutines via finalizer.
+func (e *Engine) releaseState(st *core.SearchState) { e.states.Put(st) }
+
+// SearchStateStats reports how many pooled search states have been created
+// versus reused — at steady state reuses dominate, meaning searches run on
+// warm, allocation-free kernel buffers.
+func (e *Engine) SearchStateStats() (created, reused int64) {
+	return e.stateNews.Load(), e.stateReuses.Load()
 }
 
 // LevelComputations returns how many activation-level vectors have been

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"wikisearch/internal/core"
 )
 
 // paperGraph builds the Fig. 1 scenario: query languages around a "Query
@@ -179,6 +181,74 @@ func TestSearchVariantsAgree(t *testing.T) {
 		if v == GPUPar && res.TransferSeconds <= 0 {
 			t.Fatal("GPU variant must report transfer time")
 		}
+	}
+}
+
+func TestEngineStatePoolReuse(t *testing.T) {
+	eng := newTestEngine(t)
+	var first *Result
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if len(res.Answers) != len(first.Answers) {
+			t.Fatalf("run %d: %d answers vs %d", i, len(res.Answers), len(first.Answers))
+		}
+		for j := range res.Answers {
+			if res.Answers[j].Central != first.Answers[j].Central ||
+				res.Answers[j].Score != first.Answers[j].Score {
+				t.Fatalf("run %d: answer %d differs on reused state", i, j)
+			}
+		}
+	}
+	created, reused := eng.SearchStateStats()
+	if created+reused != runs {
+		t.Fatalf("state stats: created %d + reused %d != %d searches", created, reused, runs)
+	}
+	if reused == 0 {
+		t.Fatal("sequential searches never reused a pooled state")
+	}
+}
+
+// TestWarmEngineKernelAllocationFree guards the steady-state serving path:
+// on a warm engine, the kernel stages of a pooled search state (parameter
+// resolution, state reset, bottom-up search) allocate nothing. Only answer
+// materialization in the top-down stage may allocate.
+func TestWarmEngineKernelAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	eng := newTestEngine(t)
+	q := Query{Text: "xml rdf sql", TopK: 5, Threads: 4}
+	for i := 0; i < 3; i++ { // warm: level cache, state pool, buffer caps
+		if _, err := eng.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, _, err := eng.prepare(q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{TopK: q.TopK, AvgDist: eng.avgDist, Threads: q.Threads}.Defaults()
+	in.Levels = eng.activationLevels(p.Alpha, p.Threads)
+	st := eng.acquireState()
+	defer eng.releaseState(st)
+	if _, err := st.BottomUp(in, p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := st.BottomUp(in, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm kernel path allocates %.1f times per query, want 0", allocs)
 	}
 }
 

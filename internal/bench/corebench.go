@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"wikisearch/internal/core"
+	"wikisearch/internal/graph"
+)
+
+// CoreBenchConfig sizes the search-kernel micro-benchmark: the flattened
+// expansion kernel versus the per-column reference kernel, swept over
+// keyword counts and thread counts on one seeded random graph. The default
+// workload mixes q-1 frequent, co-occurring terms with one rare term (the
+// paper's high-kwf regime), so the BFS waves overlap and multi-column
+// expansion has work to amortize.
+type CoreBenchConfig struct {
+	Nodes    int   `json:"nodes"`
+	Edges    int   `json:"edges"`
+	Qs       []int `json:"qs"`    // keyword counts swept
+	Tnums    []int `json:"tnums"` // thread counts swept
+	Kwf      int   `json:"kwf"`   // source nodes per keyword (Table V's kwf)
+	TopK     int   `json:"topk"`
+	MaxLevel int   `json:"max_level"`
+	Repeats  int   `json:"repeats"` // measured queries per setting
+	Seed     int64 `json:"seed"`
+}
+
+// Defaults fills unset fields with the standard sweep.
+func (c CoreBenchConfig) Defaults() CoreBenchConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 10000
+	}
+	if c.Edges <= 0 {
+		c.Edges = 120000
+	}
+	if len(c.Qs) == 0 {
+		c.Qs = []int{3, 4, 6}
+	}
+	if len(c.Tnums) == 0 {
+		c.Tnums = []int{1, 2, 4}
+		if n := runtime.NumCPU(); n > 4 {
+			c.Tnums = append(c.Tnums, n)
+		}
+	}
+	if c.Kwf <= 0 {
+		c.Kwf = 200
+	}
+	if c.TopK <= 0 {
+		c.TopK = 400
+	}
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = 64
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 99
+	}
+	return c
+}
+
+// CoreBenchPoint is one measured (kernel, Tnum, q) setting, averaged over
+// Repeats warm single-query bottom-up runs.
+type CoreBenchPoint struct {
+	Kernel        string  `json:"kernel"`
+	Tnum          int     `json:"tnum"`
+	Q             int     `json:"q"`
+	NsPerOp       int64   `json:"ns_per_op"`        // whole bottom-up stage
+	ExpandNsPerOp int64   `json:"expand_ns_per_op"` // expansion phase only
+	EdgesScanned  int64   `json:"edges_scanned_per_op"`
+	EdgesPerSec   float64 `json:"edges_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"` // 0 at steady state
+	Levels        int     `json:"levels"`
+	FrontierTotal int64   `json:"frontier_total"`
+}
+
+// CoreBenchSpeedup is the reference/flat ratio at one (q, Tnum) setting.
+type CoreBenchSpeedup struct {
+	Q      int     `json:"q"`
+	Tnum   int     `json:"tnum"`
+	Total  float64 `json:"total"`  // bottom-up wall-time ratio
+	Expand float64 `json:"expand"` // expansion-phase ratio
+}
+
+// CoreBenchReport is the full benchmark outcome, serialized to
+// BENCH_core.json by `make bench`.
+type CoreBenchReport struct {
+	Config     CoreBenchConfig    `json:"config"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Points     []CoreBenchPoint   `json:"points"`
+	Speedups   []CoreBenchSpeedup `json:"speedups"`
+}
+
+var kernelNames = map[core.KernelKind]string{
+	core.KernelFlat:      "flat",
+	core.KernelReference: "reference",
+}
+
+// CoreBench runs the kernel sweep. Every setting searches the same graph
+// with the same sources, on a warm reusable state, so the points are
+// directly comparable and the allocation figures reflect steady-state
+// serving.
+func CoreBench(cfg CoreBenchConfig) (*CoreBenchReport, error) {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gb := graph.NewBuilder()
+	for i := 0; i < cfg.Nodes; i++ {
+		gb.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	// A ring-with-window graph: edges connect nearby node indices, so the
+	// graph has locality and a large diameter. The frequent terms' hub waves
+	// saturate their neighborhoods almost immediately, while the rare term's
+	// clustered wave then travels level by level through that saturated
+	// territory, minting Central Nodes as it goes — on a random Erdős–Rényi
+	// graph (diameter ~log n) the search would end before the steady state
+	// the kernels are compared in ever develops.
+	const window = 50
+	rels := []graph.RelID{gb.Rel("a"), gb.Rel("b"), gb.Rel("c")}
+	for i := 0; i < cfg.Edges; i++ {
+		src := rng.Intn(cfg.Nodes)
+		dst := (src + 1 + rng.Intn(window)) % cfg.Nodes
+		gb.AddEdge(graph.NodeID(src), graph.NodeID(dst), rels[rng.Intn(3)])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	levels := make([]uint8, cfg.Nodes)
+	weights := make([]float64, cfg.Nodes)
+	for i := range levels {
+		levels[i] = uint8(rng.Intn(4))
+		weights[i] = rng.Float64()
+	}
+
+	rep := &CoreBenchReport{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	flatAt := map[[2]int]*CoreBenchPoint{} // (q, tnum) → flat point
+
+	for _, q := range cfg.Qs {
+		// The query mixes q-1 frequent, co-occurring terms with one rare
+		// term — the common shape of real keyword queries, where several
+		// domain terms share the same hub entities and one selective term
+		// narrows the answer. The frequent terms draw their sources from a
+		// single pool of hub nodes spread over the whole graph, so their BFS
+		// waves travel together and every expanding node carries ~q-1 active
+		// columns; the per-column reference kernel re-walks each adjacency
+		// once per active column, while the flat kernel's single pass covers
+		// them all. The rare term's clustered wave is what mints Central
+		// Nodes (no hub is central on its own) and ends the search.
+		frequent := cfg.Nodes / 4 // hub pool: one node in four
+		hubs := make([]graph.NodeID, 0, frequent)
+		for j := 0; j < frequent; j++ {
+			hubs = append(hubs, graph.NodeID((j*cfg.Nodes/frequent+rng.Intn(7))%cfg.Nodes))
+		}
+		sources := make([][]graph.NodeID, q)
+		terms := make([]string, q)
+		for i := range sources {
+			seen := map[graph.NodeID]bool{}
+			if i < q-1 {
+				for len(sources[i]) < frequent*4/5 {
+					v := hubs[rng.Intn(len(hubs))]
+					if !seen[v] {
+						seen[v] = true
+						sources[i] = append(sources[i], v)
+					}
+				}
+			} else {
+				for len(sources[i]) < cfg.Kwf {
+					v := graph.NodeID(rng.Intn(cfg.Kwf * 2))
+					if !seen[v] {
+						seen[v] = true
+						sources[i] = append(sources[i], v)
+					}
+				}
+			}
+			terms[i] = fmt.Sprintf("t%d", i)
+		}
+		in := core.Input{G: g, Weights: weights, Levels: levels, Terms: terms, Sources: sources}
+
+		for _, tnum := range cfg.Tnums {
+			for _, kernel := range []core.KernelKind{core.KernelFlat, core.KernelReference} {
+				p := core.Params{TopK: cfg.TopK, Threads: tnum, MaxLevel: cfg.MaxLevel, Kernel: kernel}
+				pt, err := measureKernel(in, p, cfg.Repeats)
+				if err != nil {
+					return nil, err
+				}
+				pt.Q = q
+				rep.Points = append(rep.Points, *pt)
+				if kernel == core.KernelFlat {
+					flatAt[[2]int{q, tnum}] = pt
+				} else if fl := flatAt[[2]int{q, tnum}]; fl != nil {
+					sp := CoreBenchSpeedup{Q: q, Tnum: tnum}
+					if fl.NsPerOp > 0 {
+						sp.Total = float64(pt.NsPerOp) / float64(fl.NsPerOp)
+					}
+					if fl.ExpandNsPerOp > 0 {
+						sp.Expand = float64(pt.ExpandNsPerOp) / float64(fl.ExpandNsPerOp)
+					}
+					rep.Speedups = append(rep.Speedups, sp)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// measureKernel times Repeats warm bottom-up runs of one setting.
+func measureKernel(in core.Input, p core.Params, repeats int) (*CoreBenchPoint, error) {
+	ss := core.NewSearchState()
+	defer ss.Close()
+	for i := 0; i < 2; i++ { // warm buffers, caps and workers
+		if _, err := ss.BottomUp(in, p); err != nil {
+			return nil, err
+		}
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	var expandNs, edges, frontier int64
+	var levels int
+	t0 := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := ss.BottomUp(in, p); err != nil {
+			return nil, err
+		}
+		prof := ss.Profile()
+		expandNs += int64(prof.Phases[core.PhaseExpand])
+		edges += prof.EdgesScanned
+		frontier += prof.FrontierTotal
+		levels = prof.Levels
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+
+	pt := &CoreBenchPoint{
+		Kernel:        kernelNames[p.Kernel],
+		Tnum:          p.Threads,
+		NsPerOp:       elapsed.Nanoseconds() / int64(repeats),
+		ExpandNsPerOp: expandNs / int64(repeats),
+		EdgesScanned:  edges / int64(repeats),
+		AllocsPerOp:   float64(ms1.Mallocs-ms0.Mallocs) / float64(repeats),
+		Levels:        levels,
+		FrontierTotal: frontier / int64(repeats),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.EdgesPerSec = float64(edges) / s
+	}
+	return pt, nil
+}
+
+// Table renders the report for the terminal.
+func (r *CoreBenchReport) Table() Table {
+	t := Table{
+		ID:     "core",
+		Title:  "Expansion kernel: flat vs reference (warm state, bottom-up stage only)",
+		Header: []string{"q", "Tnum", "kernel", "ns/op", "expand ns/op", "edges/op", "Medges/s", "allocs/op"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Q),
+			fmt.Sprintf("%d", p.Tnum),
+			p.Kernel,
+			fmt.Sprintf("%d", p.NsPerOp),
+			fmt.Sprintf("%d", p.ExpandNsPerOp),
+			fmt.Sprintf("%d", p.EdgesScanned),
+			fmt.Sprintf("%.1f", p.EdgesPerSec/1e6),
+			fmt.Sprintf("%.1f", p.AllocsPerOp),
+		})
+	}
+	return t
+}
+
+// SpeedupTable renders the reference/flat ratios.
+func (r *CoreBenchReport) SpeedupTable() Table {
+	t := Table{
+		ID:     "core/speedup",
+		Title:  "Flat-kernel speedup over the reference kernel (ratio > 1 = flat faster)",
+		Header: []string{"q", "Tnum", "bottom-up", "expansion"},
+	}
+	for _, s := range r.Speedups {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", s.Q),
+			fmt.Sprintf("%d", s.Tnum),
+			fmt.Sprintf("%.2fx", s.Total),
+			fmt.Sprintf("%.2fx", s.Expand),
+		})
+	}
+	return t
+}
+
+// WriteCoreBench serializes the report as indented JSON.
+func WriteCoreBench(path string, r *CoreBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

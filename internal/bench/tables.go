@@ -168,7 +168,10 @@ func joinWords(ws []string) string {
 
 // MatrixFootprint returns the §V-B storage arithmetic for an n-node,
 // q-keyword query: the matrix size and its simulated transfer time at the
-// given bandwidth, reproducing the "300MB in ~25ms" example.
+// given bandwidth. It reproduces the paper's "300MB in ~25ms" example with
+// one deviation: our rows are padded to whole 8-byte words (so the kernel
+// tests a row per atomic load), which rounds the 30M × 10 example up to
+// 480MB / ~40ms.
 func MatrixFootprint(n, q int, bandwidth float64) (bytes int64, seconds float64) {
 	m := core.NewMatrix(n, q)
 	bytes = m.ByteSize()

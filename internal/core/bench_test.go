@@ -94,3 +94,43 @@ func BenchmarkSearchSequential(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkKernel measures the kernel path only (state reset + bottom-up
+// stage) on a warm reusable state, reporting the true edge-scan throughput.
+// With -benchmem, allocs/op must read 0 — the zero-allocation steady state.
+func benchmarkKernel(b *testing.B, kernel KernelKind, threads int) {
+	in, p := benchScenario(b)
+	p.Threads = threads
+	p.Kernel = kernel
+	ss := NewSearchState()
+	defer ss.Close()
+	if _, err := ss.BottomUp(in, p); err != nil { // warm buffers and workers
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.BottomUp(in, p); err != nil {
+			b.Fatal(err)
+		}
+		edges += ss.Profile().EdgesScanned
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(edges)/s, "edges/s")
+	}
+}
+
+// BenchmarkExpandFlat: the flattened one-pass-per-node expansion kernel.
+func BenchmarkExpandFlat(b *testing.B) {
+	for _, tn := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Tnum=%d", tn), func(b *testing.B) { benchmarkKernel(b, KernelFlat, tn) })
+	}
+}
+
+// BenchmarkExpandReference: the original per-keyword-column kernel shape,
+// the comparison point for the flat kernel's speedup.
+func BenchmarkExpandReference(b *testing.B) {
+	for _, tn := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Tnum=%d", tn), func(b *testing.B) { benchmarkKernel(b, KernelReference, tn) })
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -8,9 +10,23 @@ import (
 	"wikisearch/internal/parallel"
 )
 
+// workerScratch is one worker's private expansion scratch: the frontier
+// node's matrix row snapshot, the list of FIdentifier words this worker
+// dirtied first (so the enqueue step visits only touched words instead of
+// scanning the whole bitset), and the worker's edge-scan tally. The trailing
+// pad keeps adjacent workers' hot fields off a shared cache line.
+type workerScratch struct {
+	row     []uint8
+	touched []int32
+	edges   int64
+	_       [64]byte
+}
+
 // state carries the shared structures of one two-stage search: the three
 // lock-free arrays of §V-B (node-keyword matrix M, FIdentifier, CIdentifier)
-// plus frontier bookkeeping.
+// plus frontier bookkeeping. A state is reusable: prepare re-dimensions and
+// resets every structure in place, so a pooled state serves queries without
+// allocating on the hot path (see SearchState).
 type state struct {
 	in   Input
 	p    Params
@@ -24,67 +40,161 @@ type state struct {
 	// Nonzero means "keyword node" in the sense of §IV-B.
 	contains []uint64
 
-	frontier  []int32
-	centralAt []int32        // BFS level at which v was identified central, -1 otherwise
-	centrals  []graph.NodeID // identification order
-	level     int
+	frontier     []int32
+	touchedWords []int32        // merged per-worker touched-word lists (enqueue scratch)
+	centralAt    []int32        // BFS level at which v was identified central, -1 otherwise
+	centrals     []graph.NodeID // identification order
+	scratch      []workerScratch
+	level        int
+
+	// Prebound phase bodies, created once per state lifetime: steady-state
+	// levels dispatch through the pool without allocating a closure.
+	initFn      func(w, i int)
+	identifyFn  func(i int)
+	expandFn    func(w, start, end int)
+	expandRefFn func(w, start, end int)
 
 	prof Profile
 }
 
-// newState runs the Initialization phase of Algorithm 1: allocate M,
-// FIdentifier and CIdentifier, set m_ij = 0 for keyword nodes and flag them
-// as level-0 frontiers.
-func newState(in Input, p Params, pool *parallel.Pool) *state {
+// prepareCommon re-dimensions and resets every search structure for a query
+// over in with p, reusing prior allocations whenever capacities suffice. It
+// performs no source initialization — the CPU path's prepare and the GPU
+// path's device kernel layer that on top.
+func (s *state) prepareCommon(in Input, p Params, pool *parallel.Pool) {
 	n := in.G.NumNodes()
 	q := len(in.Sources)
-	s := &state{
-		in:        in,
-		p:         p,
-		pool:      pool,
-		m:         NewMatrix(n, q),
-		fid:       parallel.NewBitset(n),
-		cid:       parallel.NewBitset(n),
-		contains:  make([]uint64, n),
-		centralAt: make([]int32, n),
+	s.in, s.p, s.pool = in, p, pool
+	s.level = 0
+	s.prof = Profile{}
+	if s.m == nil {
+		s.m = NewMatrix(n, q)
+	} else {
+		s.m.Reset(n, q)
+	}
+	if s.fid == nil {
+		s.fid = parallel.NewBitset(n)
+		s.cid = parallel.NewBitset(n)
+	} else {
+		s.fid.Resize(n)
+		s.cid.Resize(n)
+	}
+	if cap(s.contains) < n {
+		s.contains = make([]uint64, n)
+	} else {
+		s.contains = s.contains[:n]
+		clear(s.contains)
+	}
+	if cap(s.centralAt) < n {
+		s.centralAt = make([]int32, n)
+	} else {
+		s.centralAt = s.centralAt[:n]
 	}
 	for i := range s.centralAt {
 		s.centralAt[i] = -1
 	}
-	// fork(); Initialize B_i for all t_i in Q; join(); — one task per
-	// keyword, each writing disjoint columns (duplicated source nodes write
-	// the containment mask atomically via the bitset-free OR below being
-	// per-keyword disjoint; contains[] is merged sequentially to stay
-	// race-free at negligible cost).
-	thunks := make([]func(), q)
-	for i := 0; i < q; i++ {
-		i := i
-		thunks[i] = func() {
-			for _, v := range in.Sources[i] {
-				s.m.Set(v, i, 0)
-				s.fid.Set(int(v))
-			}
-		}
+	s.frontier = s.frontier[:0]
+	s.touchedWords = s.touchedWords[:0]
+	s.centrals = s.centrals[:0]
+	w := pool.Workers()
+	if cap(s.scratch) < w {
+		s.scratch = make([]workerScratch, w)
+	} else {
+		s.scratch = s.scratch[:w]
 	}
-	pool.Run(thunks...)
+	for i := range s.scratch {
+		if s.scratch[i].row == nil {
+			s.scratch[i].row = make([]uint8, MaxKeywords)
+		}
+		s.scratch[i].touched = s.scratch[i].touched[:0]
+		s.scratch[i].edges = 0
+	}
+	if s.initFn == nil {
+		s.initFn = s.initKeyword
+		s.identifyFn = s.identifyOne
+		s.expandFn = s.expandChunk
+		s.expandRefFn = s.expandRefChunk
+	}
+}
+
+// prepare runs the Initialization phase of Algorithm 1 on a (re)used state:
+// reset M, FIdentifier and CIdentifier, set m_ij = 0 for keyword nodes and
+// flag them as level-0 frontiers — one fork/join task per keyword, each
+// writing disjoint columns (contains[] is merged sequentially to stay
+// race-free at negligible cost).
+func (s *state) prepare(in Input, p Params, pool *parallel.Pool) {
+	s.prepareCommon(in, p, pool)
+	q := len(in.Sources)
+	pool.ForWorker(q, s.initFn)
 	for i := 0; i < q; i++ {
 		bit := uint64(1) << uint(i)
 		for _, v := range in.Sources[i] {
 			s.contains[v] |= bit
 		}
 	}
+}
+
+// newState allocates a fresh single-use state (tests and the one-shot Search
+// entry point; pooled serving goes through SearchState).
+func newState(in Input, p Params, pool *parallel.Pool) *state {
+	s := &state{}
+	s.prepare(in, p, pool)
 	return s
+}
+
+// initKeyword is the per-keyword initialization task run by worker w.
+func (s *state) initKeyword(w, i int) {
+	sc := &s.scratch[w]
+	for _, v := range s.in.Sources[i] {
+		s.m.MarkHit(v, i, 0)
+		s.markFrontier(sc, v)
+	}
+}
+
+// markFrontier flags v in FIdentifier and, when this worker is the first to
+// dirty v's word, records the word in the worker's touched list. The lists
+// across workers partition the dirty words exactly (the atomic OR linearizes
+// the empty→non-empty transition), so enqueueFrontiers drains only dirty
+// words instead of scanning and resetting the whole O(n) bitset per level.
+func (s *state) markFrontier(sc *workerScratch, v graph.NodeID) {
+	if wi, first := s.fid.SetTouch(int(v)); first {
+		sc.touched = append(sc.touched, int32(wi))
+	}
 }
 
 // enqueueFrontiers extracts the frontier queue from FIdentifier and resets
 // the flags — sequential on CPU, exactly as the paper found fastest (§V-B,
 // "on CPU locked writing is so expensive and the fastest way is to enqueue
 // frontiers in a sequential manner"). One joint frontier array serves all
-// BFS instances.
+// BFS instances. Only words recorded by markFrontier are visited: merging
+// the per-worker touched lists, sorting them and draining each word in
+// ascending order yields the same canonical ascending frontier as a full
+// bitset scan at O(frontier) instead of O(n) cost.
 func (s *state) enqueueFrontiers() {
-	s.frontier = s.fid.AppendSet(s.frontier[:0])
-	s.fid.Reset()
+	tw := s.touchedWords[:0]
+	for i := range s.scratch {
+		tw = append(tw, s.scratch[i].touched...)
+		s.scratch[i].touched = s.scratch[i].touched[:0]
+	}
+	slices.Sort(tw)
+	s.touchedWords = tw
+	s.frontier = s.frontier[:0]
+	for _, wi := range tw {
+		s.frontier = s.fid.DrainWord(int(wi), s.frontier)
+	}
 	s.prof.FrontierTotal += int64(len(s.frontier))
+}
+
+// identifyOne tests frontier entry i for the Central Node condition.
+func (s *state) identifyOne(i int) {
+	v := graph.NodeID(s.frontier[i])
+	if s.cid.Get(int(v)) {
+		return
+	}
+	if s.m.AllHit(v) {
+		s.cid.Set(int(v))
+		s.centralAt[v] = int32(s.level) // each frontier entry is unique: no race
+	}
 }
 
 // identifyCentrals scans the frontier for nodes hit by every BFS instance
@@ -92,19 +202,10 @@ func (s *state) enqueueFrontiers() {
 // records the identification level, which by Lemma V.1 equals the depth of
 // the Central Graph. Returns the number of new Central Nodes.
 func (s *state) identifyCentrals() int {
-	lvl := int32(s.level)
-	s.pool.For(len(s.frontier), func(i int) {
-		v := graph.NodeID(s.frontier[i])
-		if s.cid.Get(int(v)) {
-			return
-		}
-		if s.m.AllHit(v) {
-			s.cid.Set(int(v))
-			s.centralAt[v] = lvl // each frontier entry is unique: no race
-		}
-	})
+	s.pool.For(len(s.frontier), s.identifyFn)
 	// Collect in frontier order so results are deterministic regardless of
 	// the number of threads.
+	lvl := int32(s.level)
 	found := 0
 	for _, f := range s.frontier {
 		if s.centralAt[f] == lvl {
@@ -120,50 +221,186 @@ func (s *state) identifyCentrals() int {
 // each BFS instance it belongs to into its bi-directed neighbors. All
 // writes are the idempotent lock-free writes of Theorem V.2.
 func (s *state) expand() {
+	fn := s.expandFn
+	if s.p.Kernel == KernelReference {
+		fn = s.expandRefFn
+	}
+	s.pool.ForChunksWorker(len(s.frontier), fn)
+	for i := range s.scratch {
+		s.prof.EdgesScanned += s.scratch[i].edges
+		s.scratch[i].edges = 0
+	}
+}
+
+// expandChunk is the flattened expansion kernel (KernelFlat): each frontier
+// node's CSR adjacency is walked exactly once, with all q keyword columns
+// processed per neighbor through word-wide matrix reads, instead of one
+// adjacency pass per column. The node's row is snapshotted once into
+// per-worker scratch; cells of that row can concurrently flip ∞ → l+1, but
+// both values exclude the column from the active set, so the snapshot
+// decides identically to a just-in-time read.
+func (s *state) expandChunk(w, start, end int) {
+	sc := &s.scratch[w]
+	g := s.in.G
 	l := s.level
 	q := s.m.Q()
-	var scanned atomic.Int64
-	s.pool.ForChunks(len(s.frontier), func(start, end int) {
-		var local int64
-		for fi := start; fi < end; fi++ {
-			vf := graph.NodeID(s.frontier[fi])
-			if s.cid.Get(int(vf)) {
-				continue // central nodes are unavailable for expansion
-			}
-			af := int(s.in.Levels[vf])
-			if af > l {
-				// Not yet active: stay a frontier and retry next level.
-				s.fid.Set(int(vf))
-				continue
-			}
-			for i := 0; i < q; i++ {
-				hif := s.m.Get(vf, i)
-				if int(hif) > l {
-					continue // not (yet) a frontier of B_i
-				}
-				local += int64(s.in.G.Degree(vf))
-				s.in.G.ForEachNeighbor(vf, func(vn graph.NodeID, _ graph.RelID, _ bool) {
-					if s.m.Get(vn, i) != Infinity {
-						return // already hit in B_i
-					}
-					if s.contains[vn] == 0 {
-						// Non-keyword nodes respect their activation level:
-						// they can only be hit once the next level reaches
-						// it; until then the frontier is retained so the
-						// expansion retries (§IV-B).
-						if int(s.in.Levels[vn]) > l+1 {
-							s.fid.Set(int(vf))
-							return
-						}
-					}
-					s.m.Set(vn, i, uint8(l+1))
-					s.fid.Set(int(vn))
-				})
+	row := sc.row[:q]
+	var words []uint64 // non-nil iff a row is a single word (q ≤ 8)
+	if s.m.WordsPerRow() == 1 {
+		words = s.m.Words()
+	}
+	for fi := start; fi < end; fi++ {
+		vf := graph.NodeID(s.frontier[fi])
+		if s.cid.Get(int(vf)) {
+			continue // central nodes are unavailable for expansion
+		}
+		if int(s.in.Levels[vf]) > l {
+			// Not yet active: stay a frontier and retry next level.
+			s.markFrontier(sc, vf)
+			continue
+		}
+		s.m.Row(vf, row)
+		var active uint64 // columns whose BFS frontier vf currently is (h ≤ l)
+		for i := 0; i < q; i++ {
+			if int(row[i]) <= l {
+				active |= 1 << uint(i)
 			}
 		}
-		scanned.Add(local)
-	})
-	s.prof.EdgesScanned += scanned.Load()
+		if active == 0 {
+			continue
+		}
+		// One pass over the bi-directed adjacency, regardless of how many
+		// columns are active — this is the kernel's true edge-scan count.
+		sc.edges += int64(g.Degree(vf))
+		retry := false
+		if active&(active-1) == 0 {
+			// Single active column: a point read per neighbor beats the
+			// word-wide mask, and there is no adjacency pass to amortize.
+			i := bits.TrailingZeros64(active)
+			for _, vn := range g.OutNeighbors(vf) {
+				if s.visitOne(sc, vn, i, l) {
+					retry = true
+				}
+			}
+			for _, vn := range g.InNeighbors(vf) {
+				if s.visitOne(sc, vn, i, l) {
+					retry = true
+				}
+			}
+		} else if words != nil {
+			// q ≤ 8: a row is one aligned word, so the miss filter — the
+			// dominant work in saturated regions, where nearly every
+			// neighbor is already hit in every active column — runs inline
+			// with a single atomic load and no per-edge calls.
+			for _, vn := range g.OutNeighbors(vf) {
+				todo := active & parallel.MatchFlags(atomic.LoadUint64(&words[vn]), Infinity)
+				if todo != 0 && s.visitTodo(sc, vn, todo, l) {
+					retry = true
+				}
+			}
+			for _, vn := range g.InNeighbors(vf) {
+				todo := active & parallel.MatchFlags(atomic.LoadUint64(&words[vn]), Infinity)
+				if todo != 0 && s.visitTodo(sc, vn, todo, l) {
+					retry = true
+				}
+			}
+		} else {
+			for _, vn := range g.OutNeighbors(vf) {
+				if s.visit(sc, vn, active, l) {
+					retry = true
+				}
+			}
+			for _, vn := range g.InNeighbors(vf) {
+				if s.visit(sc, vn, active, l) {
+					retry = true
+				}
+			}
+		}
+		if retry {
+			s.markFrontier(sc, vf)
+		}
+	}
+}
+
+// visitOne is visit specialized to a single active column i; it performs
+// the identical writes, so the two paths are interchangeable.
+func (s *state) visitOne(sc *workerScratch, vn graph.NodeID, i, l int) (retry bool) {
+	if s.m.Get(vn, i) != Infinity {
+		return false
+	}
+	if s.contains[vn] == 0 && int(s.in.Levels[vn]) > l+1 {
+		return true
+	}
+	s.m.MarkHit(vn, i, uint8(l+1))
+	s.markFrontier(sc, vn)
+	return false
+}
+
+// visit processes one neighbor for every active BFS instance in a single
+// word-wide read: todo is the set of active columns that have not hit vn
+// yet. Non-keyword nodes respect their activation level — they can only be
+// hit once the next level reaches it; until then the expanding frontier is
+// retained so the expansion retries (§IV-B).
+func (s *state) visit(sc *workerScratch, vn graph.NodeID, active uint64, l int) (retry bool) {
+	todo := active & s.m.MissMask(vn)
+	if todo == 0 {
+		return false // already hit in every active instance
+	}
+	return s.visitTodo(sc, vn, todo, l)
+}
+
+// visitTodo finishes a visit whose not-yet-hit active columns (todo, non-
+// empty) have already been computed.
+func (s *state) visitTodo(sc *workerScratch, vn graph.NodeID, todo uint64, l int) (retry bool) {
+	if s.contains[vn] == 0 && int(s.in.Levels[vn]) > l+1 {
+		return true
+	}
+	hit := uint8(l + 1)
+	for m := todo; m != 0; m &= m - 1 {
+		s.m.MarkHit(vn, bits.TrailingZeros64(m), hit)
+	}
+	s.markFrontier(sc, vn)
+	return false
+}
+
+// expandRefChunk is the per-keyword-column reference kernel — the shape the
+// paper's pseudocode suggests and this engine originally shipped: each
+// active column walks the closure-based adjacency separately. Kept as the
+// equivalence baseline and the benchmark comparison point; it must return
+// byte-identical results to expandChunk.
+func (s *state) expandRefChunk(w, start, end int) {
+	sc := &s.scratch[w]
+	l := s.level
+	q := s.m.Q()
+	for fi := start; fi < end; fi++ {
+		vf := graph.NodeID(s.frontier[fi])
+		if s.cid.Get(int(vf)) {
+			continue
+		}
+		if int(s.in.Levels[vf]) > l {
+			s.markFrontier(sc, vf)
+			continue
+		}
+		for i := 0; i < q; i++ {
+			if int(s.m.Get(vf, i)) > l {
+				continue // not (yet) a frontier of B_i
+			}
+			// This kernel genuinely re-walks the adjacency per column, so
+			// charging the degree per active column is its true scan count.
+			sc.edges += int64(s.in.G.Degree(vf))
+			s.in.G.ForEachNeighbor(vf, func(vn graph.NodeID, _ graph.RelID, _ bool) {
+				if s.m.Get(vn, i) != Infinity {
+					return // already hit in B_i
+				}
+				if s.contains[vn] == 0 && int(s.in.Levels[vn]) > l+1 {
+					s.markFrontier(sc, vf)
+					return
+				}
+				s.m.MarkHit(vn, i, uint8(l+1))
+				s.markFrontier(sc, vn)
+			})
+		}
+	}
 }
 
 // bottomUp runs stage one of Algorithm 1 and returns d — the smallest depth

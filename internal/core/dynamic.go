@@ -325,6 +325,7 @@ func SearchDynamic(in Input, p Params) (*Result, error) {
 		return nil, err
 	}
 	pool := newSearchPool(p.Threads)
+	defer pool.Close()
 
 	t0 := time.Now()
 	s := newDynState(in, p, pool)

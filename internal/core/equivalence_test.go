@@ -147,7 +147,7 @@ func TestGPUEquivalent(t *testing.T) {
 				t.Fatal(err)
 			}
 			resultsEqual(t, fmt.Sprintf("seed %d GPU shape %d", seed, si), ref, &got.Result)
-			if got.MatrixBytes != int64(in.G.NumNodes()*len(in.Sources)) {
+			if got.MatrixBytes != int64(in.G.NumNodes()*rowStride(len(in.Sources))) {
 				t.Fatalf("matrix bytes = %d", got.MatrixBytes)
 			}
 			if dev.HostBandwidth > 0 && got.TransferSeconds <= 0 {

@@ -42,6 +42,7 @@ func SearchGPU(in Input, p Params, dev *device.Device) (*GPUResult, error) {
 		return nil, err
 	}
 	pool := newSearchPool(p.Threads)
+	defer pool.Close()
 
 	t0 := time.Now()
 	s := newGPUState(in, p, pool, dev)
@@ -81,20 +82,11 @@ type gpuState struct {
 func newGPUState(in Input, p Params, pool *parallel.Pool, dev *device.Device) *gpuState {
 	n := in.G.NumNodes()
 	q := len(in.Sources)
-	s := &state{
-		in:        in,
-		p:         p,
-		pool:      pool,
-		m:         NewMatrix(n, q),
-		fid:       parallel.NewBitset(n),
-		cid:       parallel.NewBitset(n),
-		contains:  make([]uint64, n),
-		centralAt: make([]int32, n),
-	}
-	for i := range s.centralAt {
-		s.centralAt[i] = -1
-	}
-	// Device-side initialization kernel: one thread per source entry.
+	s := &state{}
+	s.prepareCommon(in, p, pool)
+	// Device-side initialization kernel: one thread per source entry. The
+	// GPU variant flags frontiers directly (its enqueue kernel scans the
+	// whole FIdentifier, so touched-word tracking is not needed).
 	offsets := make([]int, q+1)
 	for i, src := range in.Sources {
 		offsets[i+1] = offsets[i] + len(src)

@@ -15,7 +15,7 @@ func TestMatrixBasics(t *testing.T) {
 	if m.Q() != 3 {
 		t.Fatalf("Q = %d", m.Q())
 	}
-	if m.ByteSize() != 30 {
+	if m.ByteSize() != 80 { // 10 rows × stride 8 (q=3 padded to a word)
 		t.Fatalf("ByteSize = %d", m.ByteSize())
 	}
 	for v := graph.NodeID(0); v < 10; v++ {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"time"
+
+	"wikisearch/internal/parallel"
+)
+
+// SearchState owns every allocation of the two-stage search — the
+// node-keyword matrix, both identifier bitsets, the contains/centralAt
+// arrays, frontier buffers, per-worker scratch, and a persistent worker
+// pool. A state is reused across queries: after the first few searches warm
+// its buffers to the graph's size, the bottom-up stage runs without
+// allocating at all (the top-down stage still allocates the answers it
+// returns). A SearchState is not safe for concurrent use; serve concurrent
+// queries from a pool of states (see the engine's sync.Pool).
+type SearchState struct {
+	st   state
+	pool *parallel.Pool
+}
+
+// NewSearchState returns an empty reusable state. Buffers and the worker
+// pool are sized lazily by the first Search.
+func NewSearchState() *SearchState { return &SearchState{} }
+
+// Close releases the worker pool's goroutines. A dropped SearchState is
+// also cleaned up by the pool's finalizer, so sync.Pool eviction does not
+// leak goroutines; Close just makes teardown deterministic.
+func (ss *SearchState) Close() {
+	if ss.pool != nil {
+		ss.pool.Close()
+		ss.pool = nil
+	}
+}
+
+// ensurePool (re)builds the worker pool when the thread count changes; it
+// is a no-op on repeat queries with the same Tnum.
+func (ss *SearchState) ensurePool(threads int) {
+	if ss.pool == nil || ss.pool.Workers() != threads {
+		if ss.pool != nil {
+			ss.pool.Close()
+		}
+		ss.pool = parallel.NewPool(threads)
+	}
+}
+
+// BottomUp runs parameter resolution, state preparation and the bottom-up
+// stage only, returning the depth d of the top-(k,d) problem. This is the
+// part of the search that is allocation-free on a warm state; it exists for
+// kernel benchmarks and allocation guards — Search is the real entry point.
+func (ss *SearchState) BottomUp(in Input, p Params) (int, error) {
+	p = p.Defaults()
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	ss.ensurePool(p.Threads)
+	s := &ss.st
+
+	t0 := time.Now()
+	s.prepare(in, p, ss.pool)
+	s.prof.Phases[PhaseInit] = time.Since(t0)
+	return s.bottomUp()
+}
+
+// Profile returns the profile of the state's last (possibly partial)
+// search.
+func (ss *SearchState) Profile() Profile { return ss.st.prof }
+
+// Search runs the full two-stage algorithm on the reusable state: CPU-Par
+// when p.Threads > 1, the sequential baseline when p.Threads == 1. The
+// worker pool persists across calls and is only rebuilt when p.Threads
+// changes.
+func (ss *SearchState) Search(in Input, p Params) (*Result, error) {
+	p = p.Defaults()
+	d, err := ss.BottomUp(in, p)
+	s := &ss.st
+	if err != nil {
+		s.in = Input{}
+		return nil, err
+	}
+
+	t0 := time.Now()
+	answers, err := s.topDown()
+	if err != nil {
+		s.in = Input{}
+		return nil, err
+	}
+	s.prof.Phases[PhaseTopDown] = time.Since(t0)
+
+	res := &Result{
+		Answers:           answers,
+		DepthD:            d,
+		CentralCandidates: len(s.centrals),
+		Profile:           s.prof,
+	}
+	// Drop the query's input references so a pooled state does not pin the
+	// caller's graph and source slices between queries.
+	s.in = Input{}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestKernelsEquivalent: the flattened expansion kernel and the per-column
+// reference kernel return byte-identical results, at Tnum=1 and at
+// Tnum=GOMAXPROCS.
+func TestKernelsEquivalent(t *testing.T) {
+	threads := []int{1, runtime.GOMAXPROCS(0)}
+	for seed := int64(400); seed < 440; seed++ {
+		in, p := randomScenario(t, seed)
+		for _, tn := range threads {
+			pf := p
+			pf.Threads = tn
+			pf.Kernel = KernelFlat
+			flat, err := Search(in, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := pf
+			pr.Kernel = KernelReference
+			ref, err := Search(in, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, fmt.Sprintf("seed %d flat vs reference T=%d", seed, tn), ref, flat)
+			if flat.Profile.EdgesScanned > ref.Profile.EdgesScanned {
+				t.Fatalf("seed %d T=%d: flat kernel scanned %d edges > reference %d",
+					seed, tn, flat.Profile.EdgesScanned, ref.Profile.EdgesScanned)
+			}
+		}
+	}
+}
+
+// TestPooledStateReuse: one SearchState serving many queries — different
+// graph sizes, keyword counts, thread counts, with repeats — returns exactly
+// what a fresh single-use state returns for every one of them. This is the
+// equivalence property the engine's state pool rests on.
+func TestPooledStateReuse(t *testing.T) {
+	ss := NewSearchState()
+	defer ss.Close()
+	threads := []int{1, 2, 4, 8}
+	for i := 0; i < 120; i++ {
+		// 30 distinct scenarios, each served 4 times from the warm state at
+		// varying thread counts (so the pool is also rebuilt under reuse).
+		seed := int64(500 + i%30)
+		in, p := randomScenario(t, seed)
+		p.Threads = threads[(i/30+i)%len(threads)]
+		got, err := ss.Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("query %d (seed %d, T=%d)", i, seed, p.Threads), fresh, got)
+	}
+}
+
+// TestPooledStateKernelReuse repeats the reuse property with the reference
+// kernel interleaved, so kernel switching on a warm state is also covered.
+func TestPooledStateKernelReuse(t *testing.T) {
+	ss := NewSearchState()
+	defer ss.Close()
+	for i := 0; i < 40; i++ {
+		in, p := randomScenario(t, int64(700+i%10))
+		p.Threads = 1 + i%4
+		if i%2 == 1 {
+			p.Kernel = KernelReference
+		}
+		got, err := ss.Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("query %d", i), fresh, got)
+	}
+}
+
+// TestSearchPathAllocationFree is the zero-allocation guard: on a warm
+// SearchState, the whole kernel path — parameter resolution, state reset,
+// source initialization and every bottom-up level — performs zero heap
+// allocations, sequentially and with a worker pool.
+func TestSearchPathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	for _, tn := range []int{1, 4} {
+		t.Run(fmt.Sprintf("threads=%d", tn), func(t *testing.T) {
+			in, p := randomScenario(t, 7)
+			p.Threads = tn
+			ss := NewSearchState()
+			defer ss.Close()
+			for i := 0; i < 3; i++ { // warm buffers, workers and caps
+				if _, err := ss.Search(in, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := ss.BottomUp(in, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm bottom-up stage allocates %.1f times per query, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestSearchStateClose: a closed state's pool degrades to serial execution
+// rather than failing, and Close is idempotent.
+func TestSearchStateClose(t *testing.T) {
+	ss := NewSearchState()
+	in, p := randomScenario(t, 11)
+	p.Threads = 4
+	want, err := ss.Search(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Close()
+	ss.Close()
+	got, err := Search(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "after close", want, got)
+}

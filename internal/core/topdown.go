@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"time"
 
 	"wikisearch/internal/graph"
 )
@@ -306,34 +305,10 @@ func containsAll(super, sub map[graph.NodeID]struct{}) bool {
 }
 
 // Search runs the full two-stage algorithm: CPU-Par when p.Threads > 1, the
-// sequential baseline when p.Threads == 1.
+// sequential baseline when p.Threads == 1. It is the one-shot entry point;
+// repeated callers should hold a SearchState to reuse buffers and workers.
 func Search(in Input, p Params) (*Result, error) {
-	p = p.Defaults()
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	pool := newSearchPool(p.Threads)
-
-	t0 := time.Now()
-	s := newState(in, p, pool)
-	s.prof.Phases[PhaseInit] = time.Since(t0)
-
-	d, err := s.bottomUp()
-	if err != nil {
-		return nil, err
-	}
-
-	t0 = time.Now()
-	answers, err := s.topDown()
-	if err != nil {
-		return nil, err
-	}
-	s.prof.Phases[PhaseTopDown] = time.Since(t0)
-
-	return &Result{
-		Answers:           answers,
-		DepthD:            d,
-		CentralCandidates: len(s.centrals),
-		Profile:           s.prof,
-	}, nil
+	ss := NewSearchState()
+	defer ss.Close()
+	return ss.Search(in, p)
 }

@@ -79,6 +79,20 @@ func (g *Graph) InEdges(v NodeID) ([]NodeID, []RelID) {
 	return g.inSrc[lo:hi], g.inRel[lo:hi]
 }
 
+// OutNeighbors returns v's out-neighbor slice without the relation labels —
+// the expansion kernel iterates raw CSR adjacency and does not need labels.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	return g.outDst[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InNeighbors returns v's in-neighbor (source) slice without the relation
+// labels. The returned slice aliases internal storage and must not be
+// modified.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
 // ForEachNeighbor calls fn for every bi-directed neighbor of v: first the
 // out-edges (out=true), then the in-edges (out=false). This is the traversal
 // order used by every BFS in the engine, so results are deterministic.

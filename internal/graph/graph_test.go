@@ -125,6 +125,29 @@ func TestAdjacencySorted(t *testing.T) {
 	}
 }
 
+func TestNeighborSlicesMatchForEach(t *testing.T) {
+	// OutNeighbors/InNeighbors expose the raw CSR slices the flattened
+	// expansion kernel iterates; concatenated they must reproduce
+	// ForEachNeighbor's node order exactly for every node.
+	g, _ := randomGraph(t, 40, 160, 5)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		var want []NodeID
+		g.ForEachNeighbor(v, func(n NodeID, _ RelID, _ bool) { want = append(want, n) })
+		got := append(append([]NodeID{}, g.OutNeighbors(v)...), g.InNeighbors(v)...)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors via slices, %d via ForEachNeighbor", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d neighbor %d: slice order %d, callback order %d", v, i, got[i], want[i])
+			}
+		}
+		if len(g.OutNeighbors(v)) != g.OutDegree(v) || len(g.InNeighbors(v)) != g.InDegree(v) {
+			t.Fatalf("node %d: neighbor slice lengths disagree with degrees", v)
+		}
+	}
+}
+
 func TestNeighborIndexedAccess(t *testing.T) {
 	// Neighbor(v, j) must agree with ForEachNeighbor's order for every
 	// node of a random graph (the SIMT kernels stride by index).

@@ -39,6 +39,42 @@ func (b *Bitset) Set(i int) {
 	atomic.OrUint64(&b.words[i/wordBits], 1<<(uint(i)%wordBits))
 }
 
+// SetTouch atomically sets bit i and reports the bit's word index plus
+// whether this call was the first to touch a previously-empty word. The
+// atomic OR linearizes concurrent setters, so for any word exactly one
+// caller observes the empty→non-empty transition — per-worker touched-word
+// lists built from it partition the dirty words with no duplicates, letting
+// frontier extraction and reset skip clean words entirely. Safe for
+// concurrent use.
+func (b *Bitset) SetTouch(i int) (word int, first bool) {
+	wi := i / wordBits
+	bit := uint64(1) << (uint(i) % wordBits)
+	// Saturated regions re-mark already-flagged nodes constantly; a plain
+	// load there avoids the contended read-modify-write. Whoever performed
+	// the winning OR still gets (and keeps) the first-touch credit.
+	if atomic.LoadUint64(&b.words[wi])&bit != 0 {
+		return wi, false
+	}
+	old := atomic.OrUint64(&b.words[wi], bit)
+	return wi, old == 0
+}
+
+// DrainWord appends the indices of the set bits of word wi to dst in
+// ascending order and clears the word. Requires exclusive access. Draining
+// exactly the touched words in ascending word order reproduces AppendSet's
+// canonical ascending frontier without scanning the whole set.
+func (b *Bitset) DrainWord(wi int, dst []int32) []int32 {
+	w := b.words[wi]
+	b.words[wi] = 0
+	base := int32(wi * wordBits)
+	for w != 0 {
+		tz := bits.TrailingZeros64(w)
+		dst = append(dst, base+int32(tz))
+		w &= w - 1
+	}
+	return dst
+}
+
 // Clear atomically clears bit i. Safe for concurrent use.
 func (b *Bitset) Clear(i int) {
 	atomic.AndUint64(&b.words[i/wordBits], ^(uint64(1) << (uint(i) % wordBits)))
@@ -56,6 +92,22 @@ func (b *Bitset) Reset() {
 	for i := range b.words {
 		b.words[i] = 0
 	}
+}
+
+// Resize re-dimensions the set to hold n bits, all zero, reusing the backing
+// array when its capacity suffices (the per-query state pool relies on this
+// being allocation-free at steady state). Requires exclusive access.
+func (b *Bitset) Resize(n int) {
+	words := (n + wordBits - 1) / wordBits
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
 }
 
 // Count returns the number of set bits. Requires exclusive access.

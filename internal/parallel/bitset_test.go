@@ -55,6 +55,115 @@ func TestBitsetAppendSetOrdered(t *testing.T) {
 	}
 }
 
+func TestBitsetSetTouchFirstExactlyOnce(t *testing.T) {
+	// For every word, exactly one SetTouch observes the empty→non-empty
+	// transition — also under concurrency. This is what lets per-worker
+	// touched-word lists partition the dirty words without duplicates.
+	const n = 1 << 14
+	b := NewBitset(n)
+	rng := rand.New(rand.NewSource(42))
+	idxs := rng.Perm(n)[:5000]
+
+	var mu sync.Mutex
+	firsts := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []int
+			for i := w; i < len(idxs); i += 8 {
+				if wi, first := b.SetTouch(idxs[i]); first {
+					local = append(local, wi)
+				}
+			}
+			mu.Lock()
+			for _, wi := range local {
+				firsts[wi]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	want := map[int]bool{}
+	for _, i := range idxs {
+		want[i/64] = true
+	}
+	if len(firsts) != len(want) {
+		t.Fatalf("%d words reported first-touch, want %d", len(firsts), len(want))
+	}
+	for wi, c := range firsts {
+		if c != 1 {
+			t.Fatalf("word %d reported first-touch %d times", wi, c)
+		}
+		if !want[wi] {
+			t.Fatalf("word %d reported but never touched", wi)
+		}
+	}
+	for _, i := range idxs {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+}
+
+func TestBitsetDrainWordMatchesAppendSet(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitset(1 << 16)
+		words := map[int]bool{}
+		for _, i := range idxs {
+			wi, _ := b.SetTouch(int(i))
+			words[wi] = true
+		}
+		want := b.AppendSet(nil)
+		sorted := make([]int, 0, len(words))
+		for wi := range words {
+			sorted = append(sorted, wi)
+		}
+		sort.Ints(sorted)
+		var got []int32
+		for _, wi := range sorted {
+			got = b.DrainWord(wi, got)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return b.Count() == 0 // drained words are cleared
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetResize(t *testing.T) {
+	b := NewBitset(100)
+	b.Set(99)
+	b.Resize(1000)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatal("Resize did not clear bits")
+	}
+	b.Set(999)
+	b.Resize(64) // shrink within capacity must also clear
+	if b.Len() != 64 || b.Count() != 0 {
+		t.Fatalf("after shrink: Len=%d Count=%d", b.Len(), b.Count())
+	}
+	b.Set(63)
+	b.Resize(128) // regrow within capacity: previously-set bits stay cleared
+	if b.Count() != 0 {
+		t.Fatal("regrow exposed stale bits")
+	}
+}
+
 func TestBitsetForEachSetMatchesAppendSet(t *testing.T) {
 	f := func(idxs []uint16) bool {
 		b := NewBitset(1 << 16)
@@ -178,6 +287,73 @@ func TestByteArraySameValueRace(t *testing.T) {
 	wg.Wait()
 	if a.Get(17) != 5 {
 		t.Fatalf("cell = %d, want 5", a.Get(17))
+	}
+}
+
+func TestByteArrayLoadRow(t *testing.T) {
+	const n = 257
+	a := NewByteArray(n, 0xFF)
+	for i := 0; i < n; i++ {
+		a.Set(i, byte(i*7))
+	}
+	// Rows at every alignment and several lengths, including ones spanning
+	// multiple words and ending mid-word.
+	for base := 0; base < 9; base++ {
+		for _, q := range []int{1, 2, 3, 4, 5, 7, 8, 13, 64} {
+			if base+q > n {
+				continue
+			}
+			dst := make([]byte, q)
+			a.LoadRow(base, dst)
+			for j := range dst {
+				if want := byte((base + j) * 7); dst[j] != want {
+					t.Fatalf("LoadRow(base=%d,q=%d)[%d] = %d, want %d", base, q, j, dst[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestByteArrayMatchMask(t *testing.T) {
+	const n = 128
+	a := NewByteArray(n, 0xFF)
+	set := map[int]bool{1: true, 5: true, 6: true, 63: true, 64: true, 70: true}
+	for i := range set {
+		a.Set(i, 3)
+	}
+	for base := 0; base < 8; base++ {
+		for _, q := range []int{1, 3, 4, 6, 17, 64} {
+			got := a.MatchMask(base, q, 0xFF)
+			var want uint64
+			for j := 0; j < q; j++ {
+				if !set[base+j] {
+					want |= 1 << uint(j)
+				}
+			}
+			if got != want {
+				t.Fatalf("MatchMask(base=%d,q=%d) = %#x, want %#x", base, q, got, want)
+			}
+		}
+	}
+}
+
+func TestByteArrayResize(t *testing.T) {
+	a := NewByteArray(10, 0)
+	a.Set(9, 42)
+	a.Resize(100, 0xFF)
+	if a.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", a.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if a.Get(i) != 0xFF {
+			t.Fatalf("cell %d = %d after Resize, want 0xFF", i, a.Get(i))
+		}
+	}
+	a.Resize(7, 1) // shrink within capacity refills too
+	for i := 0; i < 7; i++ {
+		if a.Get(i) != 1 {
+			t.Fatalf("cell %d = %d after shrink, want 1", i, a.Get(i))
+		}
 	}
 }
 

@@ -8,21 +8,31 @@ import "sync/atomic"
 // write to one cell writes the same value (the current level + 1), so any
 // interleaving yields the same contents; atomic accesses make that reasoning
 // sound under the Go memory model without locks.
+//
+// Cells are packed eight per uint64 word, so one atomic load covers eight
+// cells — the expansion kernel's word-wide row reads (LoadRow, MatchMask)
+// are built on that.
 type ByteArray struct {
-	data []uint32 // one byte per cell, packed 4 per word
+	data []uint64 // one byte per cell, packed 8 per word
 	n    int
 }
 
 // Infinity is the matrix value meaning "never hit" (the paper's ∞).
 const Infinity = 0xFF
 
+const (
+	lowBytes  = 0x0101010101010101 // 0x01 in every byte
+	low7Bytes = 0x7F7F7F7F7F7F7F7F
+)
+
+// broadcast returns v replicated into every byte of a word.
+func broadcast(v byte) uint64 { return uint64(v) * lowBytes }
+
 // NewByteArray returns an array of n cells initialized to fill.
 func NewByteArray(n int, fill byte) *ByteArray {
-	a := &ByteArray{data: make([]uint32, (n+3)/4), n: n}
+	a := &ByteArray{data: make([]uint64, (n+7)/8), n: n}
 	if fill != 0 {
-		w := uint32(fill)
-		w |= w << 8
-		w |= w << 16
+		w := broadcast(fill)
 		for i := range a.data {
 			a.data[i] = w
 		}
@@ -35,8 +45,8 @@ func (a *ByteArray) Len() int { return a.n }
 
 // Get atomically loads cell i.
 func (a *ByteArray) Get(i int) byte {
-	w := atomic.LoadUint32(&a.data[i/4])
-	return byte(w >> (uint(i%4) * 8))
+	w := atomic.LoadUint64(&a.data[i>>3])
+	return byte(w >> (uint(i&7) * 8))
 }
 
 // Set atomically stores v into cell i without disturbing neighbors.
@@ -44,25 +54,122 @@ func (a *ByteArray) Get(i int) byte {
 // search guarantees); concurrent Sets to different cells in one word are
 // resolved by the CAS loop.
 func (a *ByteArray) Set(i int, v byte) {
-	shift := uint(i%4) * 8
-	mask := uint32(0xFF) << shift
-	val := uint32(v) << shift
-	p := &a.data[i/4]
+	shift := uint(i&7) * 8
+	mask := uint64(0xFF) << shift
+	val := uint64(v) << shift
+	p := &a.data[i>>3]
 	for {
-		old := atomic.LoadUint32(p)
+		old := atomic.LoadUint64(p)
 		nw := (old &^ mask) | val
-		if old == nw || atomic.CompareAndSwapUint32(p, old, nw) {
+		if old == nw || atomic.CompareAndSwapUint64(p, old, nw) {
 			return
 		}
 	}
 }
 
+// SetMonotone stores v into cell i with a single atomic AND instead of a CAS
+// loop. It requires that the cell's current value has every bit of v set —
+// which holds for the search's only write, the one-shot ∞ (0xFF) → level
+// transition — and is idempotent, so Theorem V.2's same-value concurrent
+// writes commute exactly as with Set.
+func (a *ByteArray) SetMonotone(i int, v byte) {
+	shift := uint(i&7) * 8
+	atomic.AndUint64(&a.data[i>>3], uint64(v)<<shift|^(uint64(0xFF)<<shift))
+}
+
 // Fill resets every cell to v. Requires exclusive access.
 func (a *ByteArray) Fill(v byte) {
-	w := uint32(v)
-	w |= w << 8
-	w |= w << 16
+	w := broadcast(v)
 	for i := range a.data {
 		a.data[i] = w
 	}
 }
+
+// Resize re-dimensions the array to n cells filled with fill, reusing the
+// backing storage when its capacity suffices (the per-query state pool
+// relies on this being allocation-free at steady state). Requires exclusive
+// access.
+func (a *ByteArray) Resize(n int, fill byte) {
+	words := (n + 7) / 8
+	if cap(a.data) < words {
+		a.data = make([]uint64, words)
+	} else {
+		a.data = a.data[:words]
+	}
+	a.n = n
+	a.Fill(fill)
+}
+
+// LoadRow copies cells [base, base+len(dst)) into dst using word-wide atomic
+// loads — one load per eight cells instead of one per cell. The expansion
+// kernel uses it to snapshot a node's matrix row once per adjacency pass.
+func (a *ByteArray) LoadRow(base int, dst []byte) {
+	n := len(dst)
+	i := 0
+	for i < n {
+		idx := base + i
+		w := atomic.LoadUint64(&a.data[idx>>3])
+		for off := idx & 7; off < 8 && i < n; off, i = off+1, i+1 {
+			dst[i] = byte(w >> (uint(off) * 8))
+		}
+	}
+}
+
+// zeroBytes returns a flag word with bit 8p+7 set iff byte p of w is zero —
+// the exact SWAR zero-byte detector (the classic (w-0x01…)&^w&0x80… variant
+// has false positives above a zero byte; this one does not).
+func zeroBytes(w uint64) uint64 {
+	y := (w & low7Bytes) + low7Bytes
+	return ^(y | w | low7Bytes)
+}
+
+// compressFlags compresses the eight per-byte flags (bits 7, 15, …, 63) of
+// z into bits 0..7.
+func compressFlags(z uint64) uint64 {
+	return ((z >> 7) * 0x0102040810204080) >> 56
+}
+
+// MatchMask returns a bitmask with bit j set iff cell base+j equals v, for
+// j in [0, q) with q <= 64. One word-wide atomic load covers eight cells,
+// and a SWAR zero-byte detector compares them all at once — the kernel uses
+// it to find a neighbor's not-yet-hit keyword columns in a single pass.
+func (a *ByteArray) MatchMask(base, q int, v byte) uint64 {
+	var mask uint64
+	vb := broadcast(v)
+	j := 0
+	for j < q {
+		idx := base + j
+		w := atomic.LoadUint64(&a.data[idx>>3]) ^ vb // matching bytes become 0
+		m8 := compressFlags(zeroBytes(w))
+		off := idx & 7
+		cnt := 8 - off
+		if rem := q - j; cnt > rem {
+			cnt = rem
+		}
+		mask |= (m8 >> uint(off)) & (1<<uint(cnt) - 1) << uint(j)
+		j += cnt
+	}
+	return mask
+}
+
+// MatchWord returns the match flags of the eight cells of word wi (bit p set
+// iff cell 8*wi+p equals v) with a single atomic load. Callers that keep
+// rows word-aligned (the matrix pads its row stride) test a whole row in one
+// call with no offset handling.
+func (a *ByteArray) MatchWord(wi int, v byte) uint64 {
+	return MatchFlags(atomic.LoadUint64(&a.data[wi]), v)
+}
+
+// MatchFlags returns a bitmask with bit p set iff byte p of w equals v. It
+// is the pure SWAR core of MatchWord, exported so hot loops that hold the
+// backing words (see Words) can test eight cells per load with everything
+// inlined.
+func MatchFlags(w uint64, v byte) uint64 {
+	return compressFlags(zeroBytes(w ^ broadcast(v)))
+}
+
+// Words exposes the backing word slice (eight cells per word). Callers must
+// access it with sync/atomic word operations and respect the same exclusive
+// access rules as the cell API; it exists so the expansion kernel's inner
+// loop can fold the word load into its own body.
+func (a *ByteArray) Words() []uint64 { return a.data }

@@ -11,15 +11,89 @@ import (
 // finishes a chunk it grabs the next one, so skewed per-item cost (frontiers
 // with very different neighbor counts) balances automatically.
 //
-// A Pool is created once per search with Tnum workers and used for every
-// fork/join phase of Algorithm 1; phases are separated by the implicit join,
-// which supplies the happens-before edges the lock-free expansion relies on.
+// Workers are persistent: the first parallel phase spawns workers-1
+// goroutines that park on a channel and are reused for every subsequent
+// phase — across all levels of a search and across searches — instead of
+// paying goroutine spawn and WaitGroup traffic per fork/join. The calling
+// goroutine always participates as worker 0, so a phase wakes at most
+// workers-1 helpers and a 1-worker pool never spawns anything.
+//
+// Phases must not overlap: a Pool runs one For/ForChunks/Run at a time (a
+// mutex enforces this). The phase join supplies the happens-before edges the
+// lock-free expansion relies on: every helper's writes complete before its
+// completion token is received.
+//
+// Close releases the workers. It is optional — an unreachable Pool's workers
+// are reclaimed by a finalizer — but deterministic cleanup is preferred for
+// short-lived pools. A closed Pool degrades to serial execution rather than
+// failing.
 type Pool struct {
 	workers int
+
+	mu      sync.Mutex // serializes phases; guards started/closed
+	started bool
+	closed  bool
+	work    chan *poolTask // parked helpers receive the phase descriptor
+	done    chan struct{}  // helpers send one token per processed descriptor
+	task    poolTask       // reused phase descriptor: no per-phase allocation
 }
 
-// NewPool returns a pool that runs fork/join loops on `workers` goroutines.
-// workers <= 0 selects GOMAXPROCS.
+// poolTask describes one fork/join phase. Exactly one of the fn* fields (or
+// thunks) is set; next hands out dynamic-scheduling chunks.
+type poolTask struct {
+	n     int
+	chunk int
+	next  atomic.Int64
+
+	fnIdx    func(i int)
+	fnIdxW   func(w, i int)
+	fnChunk  func(start, end int)
+	fnChunkW func(w, start, end int)
+	thunks   []func()
+}
+
+// run executes the descriptor's share of work on behalf of worker w until
+// the chunk counter is exhausted.
+func (t *poolTask) run(w int) {
+	for {
+		start := int(t.next.Add(int64(t.chunk))) - t.chunk
+		if start >= t.n {
+			return
+		}
+		end := start + t.chunk
+		if end > t.n {
+			end = t.n
+		}
+		switch {
+		case t.fnChunk != nil:
+			t.fnChunk(start, end)
+		case t.fnChunkW != nil:
+			t.fnChunkW(w, start, end)
+		case t.fnIdx != nil:
+			for i := start; i < end; i++ {
+				t.fnIdx(i)
+			}
+		case t.fnIdxW != nil:
+			for i := start; i < end; i++ {
+				t.fnIdxW(w, i)
+			}
+		case t.thunks != nil:
+			for i := start; i < end; i++ {
+				t.thunks[i]()
+			}
+		}
+	}
+}
+
+// clear drops closure references so a parked pool does not retain caller
+// state between phases.
+func (t *poolTask) clear() {
+	t.fnIdx, t.fnIdxW, t.fnChunk, t.fnChunkW, t.thunks = nil, nil, nil, nil, nil
+}
+
+// NewPool returns a pool that runs fork/join loops on `workers` goroutines
+// (the calling goroutine plus workers-1 persistent helpers, spawned lazily
+// on the first parallel phase). workers <= 0 selects GOMAXPROCS.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,6 +103,67 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the configured degree of parallelism (the paper's Tnum).
 func (p *Pool) Workers() int { return p.workers }
+
+// start spawns the persistent helpers. Called with p.mu held.
+func (p *Pool) start() {
+	p.started = true
+	p.work = make(chan *poolTask, p.workers-1)
+	p.done = make(chan struct{}, p.workers-1)
+	for g := 1; g < p.workers; g++ {
+		// The helper closes over only the channels — never *Pool — so an
+		// unreachable Pool can be finalized while helpers are parked.
+		go poolWorker(g, p.work, p.done)
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+}
+
+// poolWorker parks on work and executes phase descriptors until the channel
+// closes. w is the worker's stable identity, handed to ForWorker /
+// ForChunksWorker bodies for per-worker scratch indexing.
+func poolWorker(w int, work <-chan *poolTask, done chan<- struct{}) {
+	for t := range work {
+		t.run(w)
+		done <- struct{}{}
+	}
+}
+
+// Close stops the persistent workers. Idempotent and safe to call
+// concurrently with nothing; after Close the pool executes phases serially.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		close(p.work)
+		runtime.SetFinalizer(p, nil)
+	}
+}
+
+// dispatch runs the prepared p.task across the caller plus up to `helpers`
+// parked workers and joins. Called with p.mu held and p.task populated.
+func (p *Pool) dispatch(helpers int) {
+	if helpers > p.workers-1 {
+		helpers = p.workers - 1
+	}
+	if helpers > 0 && !p.closed {
+		if !p.started {
+			p.start()
+		}
+		for i := 0; i < helpers; i++ {
+			p.work <- &p.task
+		}
+		p.task.run(0)
+		for i := 0; i < helpers; i++ {
+			<-p.done
+		}
+	} else {
+		p.task.run(0)
+	}
+	p.task.clear()
+}
 
 // chunkFor picks a dynamic-scheduling chunk size: small enough to balance
 // skew, large enough to amortize the atomic fetch-add. Mirrors OpenMP's
@@ -42,6 +177,14 @@ func chunkFor(n, workers int) int {
 		c = 1024
 	}
 	return c
+}
+
+// prep stages a phase over n items. Returns the helper count.
+func (p *Pool) prep(n int) int {
+	p.task.n = n
+	p.task.chunk = chunkFor(n, p.workers)
+	p.task.next.Store(0)
+	return n - 1
 }
 
 // For runs fn(i) for every i in [0, n) across the pool's workers with
@@ -58,33 +201,31 @@ func (p *Pool) For(n int, fn func(i int)) {
 		}
 		return
 	}
-	chunk := chunkFor(n, p.workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	w := p.workers
-	if w > n {
-		w = n
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helpers := p.prep(n)
+	p.task.fnIdx = fn
+	p.dispatch(helpers)
+}
+
+// ForWorker is For with the executing worker's identity (in [0, Workers()))
+// passed to fn, so bodies can index per-worker scratch without atomics. The
+// caller is always worker 0.
+func (p *Pool) ForWorker(n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
 	}
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
-			}
-		}()
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
 	}
-	wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helpers := p.prep(n)
+	p.task.fnIdxW = fn
+	p.dispatch(helpers)
 }
 
 // ForChunks runs fn(start, end) over contiguous chunks of [0, n) with
@@ -97,52 +238,52 @@ func (p *Pool) ForChunks(n int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
-	chunk := chunkFor(n, p.workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	w := p.workers
-	if w > n {
-		w = n
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helpers := p.prep(n)
+	p.task.fnChunk = fn
+	p.dispatch(helpers)
+}
+
+// ForChunksWorker is ForChunks with the executing worker's identity passed
+// to fn — the expansion kernel uses it to reach its row scratch and local
+// touched-word buffer.
+func (p *Pool) ForChunksWorker(n int, fn func(w, start, end int)) {
+	if n <= 0 {
+		return
 	}
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				fn(start, end)
-			}
-		}()
+	if p.workers == 1 {
+		fn(0, 0, n)
+		return
 	}
-	wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helpers := p.prep(n)
+	p.task.fnChunkW = fn
+	p.dispatch(helpers)
 }
 
 // Run executes the given thunks concurrently on up to Workers goroutines and
 // joins. Used by fork/join steps that are heterogeneous rather than loops.
+// Thunks are fed through the persistent workers with the caller
+// participating, so dispatch never serializes behind running thunks even
+// when len(thunks) exceeds the worker count.
 func (p *Pool) Run(thunks ...func()) {
-	if len(thunks) == 1 || p.workers == 1 {
+	n := len(thunks)
+	if n == 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
 		for _, t := range thunks {
 			t()
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.workers)
-	wg.Add(len(thunks))
-	for _, t := range thunks {
-		t := t
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			t()
-		}()
-	}
-	wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.task.n = n
+	p.task.chunk = 1
+	p.task.next.Store(0)
+	p.task.thunks = thunks
+	p.dispatch(n - 1)
 }

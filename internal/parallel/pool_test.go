@@ -89,6 +89,123 @@ func TestChunkForBounds(t *testing.T) {
 	}
 }
 
+func TestPoolForWorkerIdentities(t *testing.T) {
+	// Worker identities are in [0, Workers()) and every index is visited
+	// exactly once; the caller participates as worker 0.
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		const n = 20000
+		hits := make([]atomic.Int32, n)
+		var bad atomic.Int32
+		p.ForWorker(n, func(w, i int) {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+			}
+			hits[i].Add(1)
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("workers=%d: %d out-of-range worker ids", workers, bad.Load())
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, hits[i].Load())
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForChunksWorkerExclusiveScratch(t *testing.T) {
+	// Per-worker scratch indexed by w must never be shared between two
+	// concurrently running chunks — the expansion kernel relies on this.
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	const n = 50000
+	var inUse [workers]atomic.Int32
+	seen := make([]atomic.Int32, n)
+	p.ForChunksWorker(n, func(w, start, end int) {
+		if inUse[w].Add(1) != 1 {
+			t.Errorf("worker %d scratch used concurrently", w)
+		}
+		for i := start; i < end; i++ {
+			seen[i].Add(1)
+		}
+		inUse[w].Add(-1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestPoolReusedAcrossPhases(t *testing.T) {
+	// The same pool serves many heterogeneous phases back to back — the
+	// persistent workers must not wedge or double-run a descriptor.
+	p := NewPool(6)
+	defer p.Close()
+	for rep := 0; rep < 200; rep++ {
+		var sum atomic.Int64
+		n := 1 + rep%97
+		p.For(n, func(i int) { sum.Add(int64(i)) })
+		want := int64(n*(n-1)) / 2
+		if sum.Load() != want {
+			t.Fatalf("rep %d: For sum = %d, want %d", rep, sum.Load(), want)
+		}
+		sum.Store(0)
+		p.ForChunks(n, func(start, end int) {
+			var local int64
+			for i := start; i < end; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		if sum.Load() != want {
+			t.Fatalf("rep %d: ForChunks sum = %d, want %d", rep, sum.Load(), want)
+		}
+	}
+}
+
+func TestPoolRunMoreThunksThanWorkers(t *testing.T) {
+	// Every thunk runs exactly once even when thunks outnumber workers; the
+	// caller participates, so dispatch cannot deadlock behind running thunks.
+	p := NewPool(2)
+	defer p.Close()
+	const n = 64
+	hits := make([]atomic.Int32, n)
+	thunks := make([]func(), n)
+	for i := range thunks {
+		i := i
+		thunks[i] = func() { hits[i].Add(1) }
+	}
+	p.Run(thunks...)
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("thunk %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPoolCloseDegradesToSerial(t *testing.T) {
+	p := NewPool(4)
+	var sum atomic.Int64
+	p.For(100, func(i int) { sum.Add(1) })
+	p.Close()
+	p.Close() // idempotent
+	p.For(100, func(i int) { sum.Add(1) })
+	p.ForWorker(10, func(w, i int) {
+		if w != 0 {
+			t.Errorf("closed pool used helper %d", w)
+		}
+		sum.Add(1)
+	})
+	p.Run(func() { sum.Add(1) }, func() { sum.Add(1) })
+	if sum.Load() != 212 {
+		t.Fatalf("sum = %d, want 212", sum.Load())
+	}
+}
+
 func TestPoolForSumEqualsSequential(t *testing.T) {
 	// Property: parallel accumulation over disjoint cells equals the
 	// sequential sum regardless of worker count.

@@ -188,7 +188,9 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 	)
 	switch q.Variant {
 	case CPUPar, Sequential:
-		res, err = core.Search(in, p)
+		st := e.acquireState()
+		res, err = st.Search(in, p)
+		e.releaseState(st)
 	case CPUParD:
 		res, err = core.SearchDynamic(in, p)
 	case GPUPar:
