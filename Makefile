@@ -1,12 +1,13 @@
 # Standard checks for this repository. `make check` is the gate every
-# change must pass: vet, the full test suite under the race detector, and
-# the allocation guards (which skip under -race, so they get a plain run).
+# change must pass: gofmt, vet, the project's own static analyzers
+# (wikilint), the full test suite under the race detector, and the
+# allocation guards (which skip under -race, so they get a plain run).
 
 GO ?= go
 
-.PHONY: check build test vet race bench allocguard fmt
+.PHONY: check build test vet lint race bench allocguard fmt fmtcheck
 
-check: vet race allocguard
+check: fmtcheck vet lint race allocguard
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# wikilint runs the engine-specific analyzers (atomicfield, hotpathalloc,
+# nocopy, ctxhandler) over the whole module; see internal/analysis and
+# DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/wikilint ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -24,7 +31,7 @@ race:
 # detector's instrumentation would break, so they skip under -race and run
 # here without it.
 allocguard:
-	$(GO) test -run AllocationFree -count=1 . ./internal/core
+	$(GO) test -run AllocationFree -count=1 . ./internal/core ./internal/parallel
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -32,3 +39,8 @@ bench:
 
 fmt:
 	gofmt -l -w .
+
+# fmtcheck fails (listing the files) when anything is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

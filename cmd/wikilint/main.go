@@ -1,0 +1,65 @@
+// Command wikilint runs the repository's static-analysis suite (package
+// internal/analysis) over the given package patterns and reports findings.
+//
+// Usage:
+//
+//	wikilint [-list] [patterns ...]
+//
+// Patterns are directory paths relative to the current module, "./..." by
+// default. The command exits 0 when the tree is clean, 1 when any analyzer
+// reports a finding, and 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wikisearch/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wikilint [-list] [patterns ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wikilint: %v\n", err)
+		os.Exit(2)
+	}
+	loadErrs := 0
+	for _, pkg := range prog.Packages {
+		for _, e := range pkg.Errs {
+			fmt.Fprintf(os.Stderr, "wikilint: %s: %v\n", pkg.Path, e)
+			loadErrs++
+		}
+	}
+	if loadErrs > 0 {
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAnalyzers(prog, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wikilint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

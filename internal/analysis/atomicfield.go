@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer enforces the //wikisearch:atomic field discipline: a
+// field so annotated holds lock-free shared state (the node-keyword matrix
+// words, the frontier bitset words), and every element access must go
+// through sync/atomic — a plain read of a concurrently-written word is a
+// data race under the Go memory model even when all writers write the same
+// value (the paper's monotone-update argument is only sound on top of
+// atomic accesses).
+//
+// Allowed uses of an annotated field F:
+//
+//   - &x.F[i] (or &x.F for scalar fields) passed to a sync/atomic function;
+//   - aliasing into a local — p := &x.F[i], s := x.F, s := x.F[a:b] — whose
+//     own uses are then checked under the same discipline;
+//   - len(x.F) / cap(x.F) and comparisons against nil (header reads);
+//   - composite-literal initialization (the object is not shared yet);
+//   - anything inside a function annotated //wikisearch:exclusive, whose
+//     documentation must state the exclusive-access contract;
+//   - returning the field (or a re-slice) from a function annotated
+//     //wikisearch:atomicalias; locals initialized from such a function's
+//     result inherit the discipline at the caller.
+//
+// Everything else — plain indexing, plain writes, range loops, aliases
+// escaping into fields or calls — is reported.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "annotated atomic fields must only be accessed via sync/atomic",
+	Run:  runAtomicField,
+}
+
+// taintKind classifies a local that aliases atomic storage.
+type taintKind int
+
+const (
+	taintSlice taintKind = iota + 1 // slice of atomic words
+	taintPtr                        // pointer to one atomic word
+)
+
+func runAtomicField(pass *Pass) {
+	ix := pass.Prog.Index
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			dirs := ix.funcDirectives(fd)
+			if dirs["exclusive"] {
+				continue
+			}
+			c := &atomicChecker{pass: pass, fn: fd, aliasOK: dirs["atomicalias"]}
+			c.gatherTaints(fd.Body)
+			inspectWithStack(fd.Body, c.check)
+		}
+	}
+}
+
+type atomicChecker struct {
+	pass    *Pass
+	fn      *ast.FuncDecl
+	aliasOK bool // enclosing func is //wikisearch:atomicalias
+	taints  map[types.Object]taintKind
+}
+
+// atomicFieldKey returns the index key of the field a selector resolves to,
+// or "" when it is not an annotated field.
+func (c *atomicChecker) atomicFieldKey(sel *ast.SelectorExpr) string {
+	s := c.pass.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := types.Unalias(s.Recv())
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = types.Unalias(p.Elem())
+	}
+	key := namedKey(recv)
+	if key == "" {
+		return ""
+	}
+	key += "." + s.Obj().Name()
+	if !c.pass.Prog.Index.Atomic[key] {
+		return ""
+	}
+	return key
+}
+
+// isAtomicAliasCall reports whether e is a call to an //wikisearch:atomicalias
+// function.
+func (c *atomicChecker) isAtomicAliasCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return c.pass.Prog.Index.Alias[keyOf(calleeOf(c.pass.Pkg.Info, call))]
+}
+
+// isTaintedIdent reports whether e is an identifier carrying the given taint.
+func (c *atomicChecker) isTaintedIdent(e ast.Expr, kind taintKind) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && c.taints[c.pass.Pkg.Info.Uses[id]] == kind
+}
+
+// isAtomicSliceExpr reports whether e designates atomic word storage as a
+// slice: an annotated field selector, a tainted local, or a re-slice of one.
+func (c *atomicChecker) isAtomicSliceExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return c.atomicFieldKey(x) != ""
+	case *ast.Ident:
+		return c.isTaintedIdent(x, taintSlice)
+	case *ast.SliceExpr:
+		return c.isAtomicSliceExpr(x.X)
+	}
+	return false
+}
+
+// isAtomicAddr reports whether e is &S[i] for atomic slice storage S — an
+// expression producing a pointer into atomic storage.
+func (c *atomicChecker) isAtomicAddr(e ast.Expr) bool {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	idx, ok := ast.Unparen(un.X).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return c.isAtomicSliceExpr(idx.X)
+}
+
+// gatherTaints records locals that alias atomic storage: slices assigned
+// from atomicalias calls, from the field itself or a re-slice, and pointers
+// assigned from &storage[i]. Two sweeps propagate through chained
+// assignments.
+func (c *atomicChecker) gatherTaints(body *ast.BlockStmt) {
+	c.taints = map[types.Object]taintKind{}
+	info := c.pass.Pkg.Info
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		obj := objOf(lhs)
+		if obj == nil {
+			return
+		}
+		switch {
+		case c.isAtomicAliasCall(rhs) || c.isAtomicSliceExpr(rhs):
+			c.taints[obj] = taintSlice
+		case c.isAtomicAddr(rhs):
+			c.taints[obj] = taintPtr
+		}
+	}
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						mark(st.Lhs[i], st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i := range st.Names {
+						mark(st.Names[i], st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// check inspects one node with its ancestor stack.
+func (c *atomicChecker) check(n ast.Node, stack []ast.Node) {
+	info := c.pass.Pkg.Info
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		key := c.atomicFieldKey(e)
+		if key == "" {
+			return
+		}
+		c.checkAccess(e, stack, "atomic field "+shortFieldName(key), taintSlice)
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return
+		}
+		kind, ok := c.taints[obj]
+		if !ok {
+			return
+		}
+		if isAssignLHS(e, stack) {
+			return // rebinding the local, not touching the storage
+		}
+		c.checkAccess(e, stack, e.Name+" (aliases atomic storage)", kind)
+	case *ast.CallExpr:
+		if !c.isAtomicAliasCall(e) {
+			return
+		}
+		switch parentOf(stack).(type) {
+		case *ast.AssignStmt, *ast.ValueSpec:
+			return // taint-tracked at the caller
+		case *ast.ReturnStmt:
+			if c.aliasOK {
+				return
+			}
+		}
+		c.pass.Reportf(e.Pos(),
+			"result of atomicalias call escapes without the atomic discipline (assign it to a local or annotate the enclosing function //wikisearch:atomicalias)")
+	}
+}
+
+// checkAccess validates one use of an expression that designates atomic
+// storage, climbing the wrapper chain [SliceExpr]* [IndexExpr] [&] to the
+// consuming context.
+func (c *atomicChecker) checkAccess(e ast.Expr, stack []ast.Node, what string, kind taintKind) {
+	i := len(stack) - 2
+	cur := ast.Node(e)
+	skipWrappers := func() {
+		for i >= 0 {
+			switch p := stack[i].(type) {
+			case *ast.ParenExpr:
+				if p.X == cur {
+					cur = p
+					i--
+					continue
+				}
+			case *ast.SliceExpr:
+				// Re-slicing atomic word storage keeps the alias a slice.
+				if kind == taintSlice && p.X == cur {
+					cur = p
+					i--
+					continue
+				}
+			}
+			break
+		}
+	}
+	skipWrappers()
+	indexed := false
+	if kind == taintSlice && i >= 0 {
+		if ix, ok := stack[i].(*ast.IndexExpr); ok && ix.X == cur {
+			cur = ix
+			indexed = true
+			i--
+			skipWrappers()
+		}
+	}
+	addressed := false
+	if i >= 0 {
+		if un, ok := stack[i].(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == cur {
+			cur = un
+			addressed = true
+			i--
+			skipWrappers()
+		}
+	}
+	if i >= 0 {
+		switch p := stack[i].(type) {
+		case *ast.CallExpr:
+			if argOf(p, cur) {
+				switch {
+				case isSyncAtomicCall(c.pass.Pkg.Info, p) && (addressed || kind == taintPtr && !indexed):
+					return // atomic access
+				case isLenCap(c.pass.Pkg.Info, p) && !indexed && !addressed:
+					return // len/cap reads the header only
+				}
+			}
+		case *ast.BinaryExpr:
+			// Nil comparisons read the header only.
+			if !indexed && !addressed && (p.Op == token.EQL || p.Op == token.NEQ) {
+				other := p.X
+				if p.X == cur {
+					other = p.Y
+				}
+				if isNil(c.pass.Pkg.Info, other) {
+					return
+				}
+			}
+		case *ast.ReturnStmt:
+			if !indexed && !addressed && c.aliasOK {
+				return // //wikisearch:atomicalias: the caller inherits the discipline
+			}
+		case *ast.AssignStmt:
+			// Alias creation into a plain local — p := &x.F[i], s := x.F,
+			// s := x.F[a:b] — is allowed: the local is taint-tracked, so
+			// the alias stays under the discipline.
+			if addressed == indexed && len(p.Lhs) == len(p.Rhs) {
+				for j, rhs := range p.Rhs {
+					if ast.Unparen(rhs) == cur || rhs == cur {
+						if _, ok := ast.Unparen(p.Lhs[j]).(*ast.Ident); ok {
+							return
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if addressed == indexed {
+				return // var s = x.F: names are idents, taint-tracked
+			}
+		case *ast.RangeStmt:
+			if p.X == cur {
+				c.pass.Reportf(e.Pos(), "plain read of %s; use sync/atomic", what)
+				return
+			}
+		}
+	}
+	switch {
+	case isWriteTarget(cur, stack, i):
+		c.pass.Reportf(e.Pos(), "plain write to %s; use sync/atomic", what)
+	case indexed:
+		c.pass.Reportf(e.Pos(), "plain read of %s; use sync/atomic", what)
+	default:
+		c.pass.Reportf(e.Pos(), "alias of %s escapes; only sync/atomic access is allowed", what)
+	}
+}
+
+// shortFieldName renders "pkg/path.Type.field" as "Type.field".
+func shortFieldName(key string) string {
+	dots := 0
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			dots++
+			if dots == 2 {
+				return key[i+1:]
+			}
+		}
+	}
+	return key
+}
+
+// parentOf returns the node above the current one, or nil.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// argOf reports whether e is one of call's arguments.
+func argOf(call *ast.CallExpr, e ast.Node) bool {
+	for _, a := range call.Args {
+		if a == e || ast.Unparen(a) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// isAssignLHS reports whether ident e is a direct assignment target.
+func isAssignLHS(e ast.Expr, stack []ast.Node) bool {
+	p, ok := parentOf(stack).(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range p.Lhs {
+		if ast.Unparen(lhs) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// isWriteTarget reports whether cur (below stack index i) is assigned to or
+// incremented.
+func isWriteTarget(cur ast.Node, stack []ast.Node, i int) bool {
+	if i < 0 {
+		return false
+	}
+	switch p := stack[i].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == cur {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return ast.Unparen(p.X) == cur
+	}
+	return false
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic function.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}
+
+// isLenCap reports whether call is builtin len or cap.
+func isLenCap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const directivePrefix = "//wikisearch:"
+
+// FuncInfo is one indexed function declaration with its directives.
+type FuncInfo struct {
+	Key        string // pkgpath.Recv.Name ("" receiver for plain functions)
+	Decl       *ast.FuncDecl
+	Pkg        *Package
+	Directives map[string]bool
+}
+
+// Index is the module-wide directive and declaration index shared by the
+// analyzers: hotpathalloc walks call chains across packages through Funcs,
+// atomicfield consults the annotated-field and alias-function sets, nocopy
+// the annotated types, ctxhandler the bgcontext functions.
+type Index struct {
+	Funcs     map[string]*FuncInfo
+	ByDecl    map[*ast.FuncDecl]*FuncInfo
+	Atomic    map[string]bool // "pkg.Type.field" with //wikisearch:atomic
+	Alias     map[string]bool // func keys with //wikisearch:atomicalias
+	NoCopy    map[string]bool // "pkg.Type" with //wikisearch:nocopy
+	BgContext map[string]bool // func keys with //wikisearch:bgcontext
+	allocOK   map[string]map[int]bool
+}
+
+// AllocOK reports whether the line holding pos carries a
+// //wikisearch:allocok suppression comment.
+func (ix *Index) AllocOK(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return ix.allocOK[p.Filename][p.Line]
+}
+
+// directivesOf extracts wikisearch directives from comment groups. A
+// directive is a comment line `//wikisearch:NAME` optionally followed by a
+// rationale after a space.
+func directivesOf(groups ...*ast.CommentGroup) map[string]bool {
+	var dirs map[string]bool
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(rest, " ")
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if dirs == nil {
+				dirs = map[string]bool{}
+			}
+			dirs[name] = true
+		}
+	}
+	return dirs
+}
+
+// recvBaseName returns the receiver's base type name ("" for plain
+// functions), stripping pointers, parens and type parameters.
+func recvBaseName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func funcKey(pkgPath, recv, name string) string {
+	return pkgPath + "." + recv + "." + name
+}
+
+// buildIndex scans every loaded package (targets and module-internal
+// dependencies) for declarations and directives.
+func buildIndex(prog *Program) *Index {
+	ix := &Index{
+		Funcs:     map[string]*FuncInfo{},
+		ByDecl:    map[*ast.FuncDecl]*FuncInfo{},
+		Atomic:    map[string]bool{},
+		Alias:     map[string]bool{},
+		NoCopy:    map[string]bool{},
+		BgContext: map[string]bool{},
+		allocOK:   map[string]map[int]bool{},
+	}
+	for _, pkg := range prog.byPath {
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ix.scanFile(prog, pkg, f)
+		}
+	}
+	return ix
+}
+
+func (ix *Index) scanFile(prog *Program, pkg *Package, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, directivePrefix+"allocok") {
+				p := prog.Fset.Position(c.Pos())
+				m := ix.allocOK[p.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ix.allocOK[p.Filename] = m
+				}
+				m[p.Line] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			fi := &FuncInfo{
+				Key:        funcKey(pkg.Path, recvBaseName(d), d.Name.Name),
+				Decl:       d,
+				Pkg:        pkg,
+				Directives: directivesOf(d.Doc),
+			}
+			ix.Funcs[fi.Key] = fi
+			ix.ByDecl[d] = fi
+			if fi.Directives["atomicalias"] {
+				ix.Alias[fi.Key] = true
+			}
+			if fi.Directives["bgcontext"] {
+				ix.BgContext[fi.Key] = true
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tdirs := directivesOf(d.Doc, ts.Doc, ts.Comment)
+				if tdirs["nocopy"] {
+					ix.NoCopy[pkg.Path+"."+ts.Name.Name] = true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					fdirs := directivesOf(field.Doc, field.Comment)
+					if !fdirs["atomic"] {
+						continue
+					}
+					for _, name := range field.Names {
+						ix.Atomic[pkg.Path+"."+ts.Name.Name+"."+name.Name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcDirectives returns the directives of the declaration enclosing the
+// given FuncDecl, or nil.
+func (ix *Index) funcDirectives(decl *ast.FuncDecl) map[string]bool {
+	if fi := ix.ByDecl[decl]; fi != nil {
+		return fi.Directives
+	}
+	return nil
+}
+
+// calleeOf returns the *types.Func a call expression statically resolves to
+// (a declared function or a method on a concrete or interface receiver), or
+// nil for dynamic calls through function values and for builtins and type
+// conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}
+
+// keyOf renders a *types.Func as an index key, or "" when it has no
+// package (error.Err and friends).
+func keyOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	recv := ""
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	return funcKey(f.Pkg().Path(), recv, f.Name())
+}
+
+// isInterfaceMethod reports whether f is declared on an interface (so a
+// call through it is dynamic dispatch).
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// inspectWithStack walks root invoking fn with the ancestor stack; the
+// visited node is the top of the stack.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}
+
+// namedKey renders a named type as "pkgpath.Name", or "".
+func namedKey(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

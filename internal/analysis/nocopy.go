@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoCopyAnalyzer flags value copies of types that must stay put: types
+// annotated //wikisearch:nocopy (SearchState, Bitset, ByteArray, Matrix —
+// their slices are shared with concurrent workers, so a copy silently
+// aliases live atomic storage), plus any type containing a sync primitive
+// or sync/atomic value (the vet Lock/Unlock convention, applied
+// transitively through struct fields and arrays).
+//
+// Reported copy sites: value receivers, value parameters and results,
+// assignments from value-reading expressions, range values, call arguments,
+// and method values bound to a value receiver.
+var NoCopyAnalyzer = &Analyzer{
+	Name: "nocopy",
+	Doc:  "values of nocopy types (annotated, or containing sync primitives) must not be copied",
+	Run:  runNoCopy,
+}
+
+// atomicValueTypes are the sync/atomic value types (each embeds noCopy, but
+// the explicit list keeps detection independent of stdlib internals).
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runNoCopy(pass *Pass) {
+	c := &noCopyChecker{pass: pass, memo: map[types.Type]int{}}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if def, ok := info.Defs[fd.Name].(*types.Func); ok {
+				if sig, ok := def.Type().(*types.Signature); ok {
+					c.checkSignature(fd, sig)
+				}
+			}
+			if fd.Body != nil {
+				inspectWithStack(fd.Body, c.check)
+			}
+		}
+	}
+}
+
+type noCopyChecker struct {
+	pass *Pass
+	memo map[types.Type]int // 0 unvisited, 1 in progress, 2 no, 3 yes
+}
+
+// isNoCopy reports whether values of t must not be copied.
+func (c *noCopyChecker) isNoCopy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	switch c.memo[t] {
+	case 1, 2:
+		return false // cycle or known-copyable
+	case 3:
+		return true
+	}
+	c.memo[t] = 1
+	res := c.isNoCopyUncached(t)
+	if res {
+		c.memo[t] = 3
+	} else {
+		c.memo[t] = 2
+	}
+	return res
+}
+
+func (c *noCopyChecker) isNoCopyUncached(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if c.pass.Prog.Index.NoCopy[obj.Pkg().Path()+"."+obj.Name()] {
+				return true
+			}
+			if obj.Pkg().Path() == "sync/atomic" && atomicValueTypes[obj.Name()] {
+				return true
+			}
+		}
+		if hasLockUnlock(t) {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for f := range u.Fields() {
+			if c.isNoCopy(f.Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.isNoCopy(u.Elem())
+	}
+	return false
+}
+
+// hasLockUnlock implements the vet convention: a type whose pointer method
+// set has niladic Lock and Unlock methods is a lock and must not be copied.
+func hasLockUnlock(t types.Type) bool {
+	pt := types.NewPointer(t)
+	return niladicMethod(pt, "Lock") && niladicMethod(pt, "Unlock")
+}
+
+func niladicMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, false, nil, name)
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// typeDisplay renders a type for a message.
+func typeDisplay(t types.Type) string {
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkSignature flags value receivers, parameters and results of nocopy
+// type on a function declaration.
+func (c *noCopyChecker) checkSignature(fd *ast.FuncDecl, sig *types.Signature) {
+	if recv := sig.Recv(); recv != nil && c.copiesValue(recv.Type()) {
+		name := recv.Name()
+		if name == "" || name == "_" {
+			name = typeDisplay(recv.Type())
+		}
+		c.pass.Reportf(recv.Pos(), "value receiver %s copies nocopy type %s", name, typeDisplay(recv.Type()))
+	}
+	c.checkTuple(sig)
+}
+
+// checkTuple flags value params/results (shared with FuncLit signatures).
+func (c *noCopyChecker) checkTuple(sig *types.Signature) {
+	for p := range sig.Params().Variables() {
+		if c.copiesValue(p.Type()) {
+			c.pass.Reportf(p.Pos(), "parameter %s copies nocopy type %s", p.Name(), typeDisplay(p.Type()))
+		}
+	}
+	for r := range sig.Results().Variables() {
+		if c.copiesValue(r.Type()) {
+			c.pass.Reportf(r.Pos(), "result copies nocopy type %s", typeDisplay(r.Type()))
+		}
+	}
+}
+
+// copiesValue reports whether a slot of type t holds a nocopy value by
+// value (pointers, slices, maps of nocopy types are fine).
+func (c *noCopyChecker) copiesValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return false
+	}
+	return c.isNoCopy(t)
+}
+
+// valueRead reports whether e reads an existing value (as opposed to
+// creating one): identifiers, field selections, indexing, dereference.
+func valueRead(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (c *noCopyChecker) check(n ast.Node, stack []ast.Node) {
+	info := c.pass.Pkg.Info
+	switch e := n.(type) {
+	case *ast.FuncLit:
+		if sig, ok := types.Unalias(info.Types[e].Type).(*types.Signature); ok {
+			c.checkTuple(sig)
+		}
+	case *ast.AssignStmt:
+		if len(e.Lhs) != len(e.Rhs) {
+			return
+		}
+		for i, rhs := range e.Rhs {
+			if _, blank := blankIdent(e.Lhs[i]); blank {
+				continue
+			}
+			if valueRead(rhs) && c.copiesValue(exprType(info, rhs)) {
+				c.pass.Reportf(rhs.Pos(), "assignment copies nocopy type %s", typeDisplay(exprType(info, rhs)))
+			}
+		}
+	case *ast.ValueSpec:
+		for _, rhs := range e.Values {
+			if valueRead(rhs) && c.copiesValue(exprType(info, rhs)) {
+				c.pass.Reportf(rhs.Pos(), "assignment copies nocopy type %s", typeDisplay(exprType(info, rhs)))
+			}
+		}
+	case *ast.RangeStmt:
+		if e.Value == nil {
+			return
+		}
+		if _, blank := blankIdent(e.Value); blank {
+			return
+		}
+		vt := exprType(info, e.Value)
+		if vt == nil {
+			// With := the value ident is a definition, not a typed expr.
+			if id, ok := ast.Unparen(e.Value).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					vt = obj.Type()
+				}
+			}
+		}
+		if c.copiesValue(vt) {
+			c.pass.Reportf(e.Value.Pos(), "range value copies nocopy type %s", typeDisplay(vt))
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return
+		}
+		for _, arg := range e.Args {
+			if valueRead(arg) && c.copiesValue(exprType(info, arg)) {
+				c.pass.Reportf(arg.Pos(), "argument copies nocopy type %s", typeDisplay(exprType(info, arg)))
+			}
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.MethodVal {
+			return
+		}
+		if parent, ok := parentOf(stack).(*ast.CallExpr); ok && ast.Unparen(parent.Fun) == e {
+			return // ordinary method call
+		}
+		f, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		msig, ok := f.Type().(*types.Signature)
+		if !ok || msig.Recv() == nil {
+			return
+		}
+		rt := msig.Recv().Type()
+		if _, isPtr := types.Unalias(rt).(*types.Pointer); isPtr {
+			return // method value binds &x: no copy
+		}
+		if c.copiesValue(rt) {
+			c.pass.Reportf(e.Pos(), "method value copies nocopy receiver %s", typeDisplay(rt))
+		}
+	}
+}
+
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func blankIdent(e ast.Expr) (*ast.Ident, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return id, ok && id.Name == "_"
+}

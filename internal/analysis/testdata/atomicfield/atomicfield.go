@@ -1,0 +1,105 @@
+// Package atomicfield is a wikilint test fixture: each want comment is an
+// expected atomicfield finding on that line.
+package atomicfield
+
+import "sync/atomic"
+
+// Flags is a shared, concurrently-updated word array.
+type Flags struct {
+	//wikisearch:atomic
+	words []uint64
+}
+
+// NewFlags builds a Flags before it is shared.
+//
+//wikisearch:exclusive construction precedes publication
+func NewFlags(n int) *Flags {
+	f := &Flags{words: make([]uint64, (n+63)/64)}
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	return f
+}
+
+// Words exposes the raw words; callers inherit the atomic discipline.
+//
+//wikisearch:atomicalias
+func (f *Flags) Words() []uint64 {
+	return f.words
+}
+
+// Set sets bit i atomically.
+func (f *Flags) Set(i int) {
+	atomic.OrUint64(&f.words[i>>6], 1<<(uint(i)&63))
+}
+
+// Spin updates one word through a tracked pointer alias.
+func (f *Flags) Spin(i int) {
+	p := &f.words[i>>6]
+	for {
+		old := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, old, old|1) {
+			return
+		}
+	}
+}
+
+// Len is a header read.
+func (f *Flags) Len() int { return len(f.words) }
+
+// Peek reads a word without atomics.
+func (f *Flags) Peek(i int) uint64 {
+	return f.words[i] // want `plain read of atomic field Flags\.words`
+}
+
+// Stomp writes a word without atomics.
+func (f *Flags) Stomp(i int) {
+	f.words[i] = 0 // want `plain write to atomic field Flags\.words`
+}
+
+// Walk ranges over live storage.
+func (f *Flags) Walk() uint64 {
+	var sum uint64
+	for _, w := range f.words { // want `plain read of atomic field Flags\.words`
+		sum += w
+	}
+	return sum
+}
+
+// Leak returns raw storage without the atomicalias annotation.
+func (f *Flags) Leak() []uint64 {
+	return f.words // want `alias of atomic field Flags\.words escapes`
+}
+
+// Sum reads every word atomically through a slice alias.
+func Sum(f *Flags) uint64 {
+	var sum uint64
+	words := f.Words()
+	for i := 0; i < len(words); i++ {
+		sum += atomic.LoadUint64(&words[i])
+	}
+	return sum
+}
+
+// BadSum reads the alias without atomics.
+func BadSum(f *Flags) uint64 {
+	var sum uint64
+	words := f.Words()
+	for i := 0; i < len(words); i++ {
+		sum += words[i] // want `plain read of words \(aliases atomic storage\)`
+	}
+	return sum
+}
+
+// BadDeref dereferences a word pointer without atomics.
+func BadDeref(f *Flags) uint64 {
+	p := &f.words[0]
+	return *p // want `alias of p \(aliases atomic storage\) escapes`
+}
+
+// Escape hands raw storage to an arbitrary callee.
+func Escape(f *Flags) {
+	consume(f.Words()) // want `result of atomicalias call escapes`
+}
+
+func consume(ws []uint64) int { return len(ws) }

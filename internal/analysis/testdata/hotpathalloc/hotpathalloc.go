@@ -1,0 +1,144 @@
+// Package hotpathalloc is a wikilint test fixture: each want comment is an
+// expected hotpathalloc finding on that line.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is a fixed-capacity buffer reused across queries.
+type Ring struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+// Push appends into the amortized buffer; self-append is allowed.
+//
+//wikisearch:hotpath
+func (r *Ring) Push(v int) {
+	r.mu.Lock()
+	r.buf = append(r.buf, v)
+	r.mu.Unlock()
+}
+
+// Grow allocates on the hot path.
+//
+//wikisearch:hotpath
+func (r *Ring) Grow(n int) {
+	r.buf = make([]int, n) // want `hot path function Ring\.Grow: make allocates`
+}
+
+// Fresh allocates a new Ring.
+//
+//wikisearch:hotpath
+func Fresh() *Ring {
+	return new(Ring) // want `new allocates`
+}
+
+// Bind creates a method value on the hot path.
+//
+//wikisearch:hotpath
+func (r *Ring) Bind() func(int) {
+	return r.Push // want `method value allocates`
+}
+
+// Bad collects one allocating construct per line.
+//
+//wikisearch:hotpath
+func Bad(n int) []int {
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	m := map[int]int{}  // want `map literal allocates`
+	m[n] = 1            // want `map write may allocate`
+	p := &Ring{}        // want `&composite literal allocates`
+	_ = p
+	go helper(n)                  // want `go statement allocates`
+	fn := func() int { return n } // want `closure captures n and allocates`
+	_ = fn
+	return append(s, 4) // want `append may reallocate`
+}
+
+// Concat allocates a new string.
+//
+//wikisearch:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// Box boxes an int into an interface.
+//
+//wikisearch:hotpath
+func Box(v int) any {
+	return v // want `interface conversion boxes a value and allocates`
+}
+
+// Bytes converts a string on the hot path.
+//
+//wikisearch:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `conversion from string allocates`
+}
+
+// Debug prints on the hot path.
+//
+//wikisearch:hotpath
+func Debug(v int) {
+	println(v) // want `println allocates`
+}
+
+// Spread calls a variadic function without spreading.
+//
+//wikisearch:hotpath
+func Spread(a, b int) int {
+	return maxOf(a, b) // want `variadic call allocates its argument slice`
+}
+
+// Finish calls a coldpath function (allowed) and an unlisted stdlib
+// function (flagged).
+//
+//wikisearch:hotpath
+func Finish(v int) {
+	if v < 0 {
+		_ = report(v)
+	}
+	_ = sort.SearchInts(nil, v) // want `call to sort\.SearchInts is not allowlisted`
+}
+
+// Transit reaches an unannotated allocating function.
+//
+//wikisearch:hotpath
+func Transit(n int) []int {
+	return fill(n)
+}
+
+// Warm allocates once behind a documented suppression.
+//
+//wikisearch:hotpath
+func Warm(n int) []int {
+	return make([]int, n) //wikisearch:allocok documented one-time warmup
+}
+
+// fill is unannotated but reachable from the hot path.
+func fill(n int) []int {
+	return make([]int, n) // want `function fill \(reachable from hot path\): make allocates`
+}
+
+// report formats a result off the hot path.
+//
+//wikisearch:coldpath diagnostics only
+func report(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+func helper(n int) { _ = n }
+
+func maxOf(vs ...int) int {
+	best := 0
+	for _, v := range vs {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+// Package nocopy is a wikilint test fixture: each want comment is an
+// expected nocopy finding on that line.
+package nocopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is pooled state whose backing array is shared with workers.
+//
+//wikisearch:nocopy
+type Buf struct {
+	words []uint64
+}
+
+// Guarded embeds a mutex, making it nocopy by the vet convention.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested contains a nocopy value transitively.
+type Nested struct {
+	g Guarded
+}
+
+// Counter embeds an atomic counter.
+type Counter struct {
+	hits atomic.Uint64
+}
+
+// Size has a value receiver.
+func (b Buf) Size() int { // want `value receiver b copies nocopy type Buf`
+	return len(b.words)
+}
+
+// Reset takes a pointer receiver (fine).
+func (b *Buf) Reset() { b.words = b.words[:0] }
+
+// Lock uses the mutex (fine: pointer receiver).
+func (g *Guarded) Lock() { g.mu.Lock() }
+
+// Unlock releases the mutex.
+func (g *Guarded) Unlock() { g.mu.Unlock() }
+
+// Consume copies its parameter.
+func Consume(b Buf) int { // want `parameter b copies nocopy type Buf`
+	return len(b.words)
+}
+
+// Produce returns a Buf by value.
+func Produce() (b Buf) { // want `result copies nocopy type Buf`
+	return b
+}
+
+// Copy assigns by value through a dereference.
+func Copy(src *Buf) {
+	local := *src // want `assignment copies nocopy type Buf`
+	_ = local
+}
+
+// Snapshot copies a struct containing an atomic value.
+func Snapshot(c *Counter) {
+	snap := *c // want `assignment copies nocopy type Counter`
+	_ = snap
+}
+
+// Iterate ranges over a slice of Guarded by value.
+func Iterate(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies nocopy type Guarded`
+		total += g.n
+	}
+	return total
+}
+
+// IterateOK ranges by index (fine).
+func IterateOK(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// Forward dereferences a transitively-nocopy field into an argument.
+func Forward(n *Nested) {
+	sink(n.g) // want `argument copies nocopy type Guarded`
+}
+
+// Bind binds a value-receiver method.
+func Bind(b *Buf) func() int {
+	return b.Size // want `method value copies nocopy receiver Buf`
+}
+
+// Each builds a callback that takes Guarded by value.
+func Each(gs []Guarded) {
+	fn := func(g Guarded) int { return g.n } // want `parameter g copies nocopy type Guarded`
+	for i := range gs {
+		_ = fn(gs[i]) // want `argument copies nocopy type Guarded`
+	}
+}
+
+func sink(v any) { _ = v }

@@ -14,7 +14,11 @@ import (
 // node's matrix row snapshot, the list of FIdentifier words this worker
 // dirtied first (so the enqueue step visits only touched words instead of
 // scanning the whole bitset), and the worker's edge-scan tally. The trailing
-// pad keeps adjacent workers' hot fields off a shared cache line.
+// pad keeps adjacent workers' hot fields off a shared cache line. A
+// workerScratch must not be copied: a copy aliases the row and touched
+// buffers.
+//
+//wikisearch:nocopy
 type workerScratch struct {
 	row     []uint8
 	touched []int32
@@ -26,7 +30,10 @@ type workerScratch struct {
 // lock-free arrays of §V-B (node-keyword matrix M, FIdentifier, CIdentifier)
 // plus frontier bookkeeping. A state is reusable: prepare re-dimensions and
 // resets every structure in place, so a pooled state serves queries without
-// allocating on the hot path (see SearchState).
+// allocating on the hot path (see SearchState). A state must not be copied:
+// a copy aliases every shared search structure.
+//
+//wikisearch:nocopy
 type state struct {
 	in   Input
 	p    Params
@@ -143,6 +150,8 @@ func newState(in Input, p Params, pool *parallel.Pool) *state {
 }
 
 // initKeyword is the per-keyword initialization task run by worker w.
+//
+//wikisearch:hotpath
 func (s *state) initKeyword(w, i int) {
 	sc := &s.scratch[w]
 	for _, v := range s.in.Sources[i] {
@@ -156,6 +165,8 @@ func (s *state) initKeyword(w, i int) {
 // across workers partition the dirty words exactly (the atomic OR linearizes
 // the empty→non-empty transition), so enqueueFrontiers drains only dirty
 // words instead of scanning and resetting the whole O(n) bitset per level.
+//
+//wikisearch:hotpath
 func (s *state) markFrontier(sc *workerScratch, v graph.NodeID) {
 	if wi, first := s.fid.SetTouch(int(v)); first {
 		sc.touched = append(sc.touched, int32(wi))
@@ -170,6 +181,8 @@ func (s *state) markFrontier(sc *workerScratch, v graph.NodeID) {
 // the per-worker touched lists, sorting them and draining each word in
 // ascending order yields the same canonical ascending frontier as a full
 // bitset scan at O(frontier) instead of O(n) cost.
+//
+//wikisearch:hotpath
 func (s *state) enqueueFrontiers() {
 	tw := s.touchedWords[:0]
 	for i := range s.scratch {
@@ -186,6 +199,8 @@ func (s *state) enqueueFrontiers() {
 }
 
 // identifyOne tests frontier entry i for the Central Node condition.
+//
+//wikisearch:hotpath
 func (s *state) identifyOne(i int) {
 	v := graph.NodeID(s.frontier[i])
 	if s.cid.Get(int(v)) {
@@ -239,6 +254,8 @@ func (s *state) expand() {
 // per-worker scratch; cells of that row can concurrently flip ∞ → l+1, but
 // both values exclude the column from the active set, so the snapshot
 // decides identically to a just-in-time read.
+//
+//wikisearch:hotpath
 func (s *state) expandChunk(w, start, end int) {
 	sc := &s.scratch[w]
 	g := s.in.G
@@ -324,6 +341,8 @@ func (s *state) expandChunk(w, start, end int) {
 
 // visitOne is visit specialized to a single active column i; it performs
 // the identical writes, so the two paths are interchangeable.
+//
+//wikisearch:hotpath
 func (s *state) visitOne(sc *workerScratch, vn graph.NodeID, i, l int) (retry bool) {
 	if s.m.Get(vn, i) != Infinity {
 		return false
@@ -341,6 +360,8 @@ func (s *state) visitOne(sc *workerScratch, vn graph.NodeID, i, l int) (retry bo
 // yet. Non-keyword nodes respect their activation level — they can only be
 // hit once the next level reaches it; until then the expanding frontier is
 // retained so the expansion retries (§IV-B).
+//
+//wikisearch:hotpath
 func (s *state) visit(sc *workerScratch, vn graph.NodeID, active uint64, l int) (retry bool) {
 	todo := active & s.m.MissMask(vn)
 	if todo == 0 {
@@ -351,6 +372,8 @@ func (s *state) visit(sc *workerScratch, vn graph.NodeID, active uint64, l int) 
 
 // visitTodo finishes a visit whose not-yet-hit active columns (todo, non-
 // empty) have already been computed.
+//
+//wikisearch:hotpath
 func (s *state) visitTodo(sc *workerScratch, vn graph.NodeID, todo uint64, l int) (retry bool) {
 	if s.contains[vn] == 0 && int(s.in.Levels[vn]) > l+1 {
 		return true

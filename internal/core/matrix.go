@@ -17,7 +17,11 @@ const Infinity = parallel.Infinity
 // Rows are padded to a multiple of eight cells so every row starts on a
 // uint64 word boundary: MissMask and AllHit then test a q ≤ 8 row with one
 // atomic load, and larger rows with ⌈q/8⌉ loads, never straddling words.
-// Padding cells stay at Infinity and are masked out of every query.
+// Padding cells stay at Infinity and are masked out of every query. A
+// Matrix must not be copied: a copy aliases the shared cell storage while
+// forking the dimension fields.
+//
+//wikisearch:nocopy
 type Matrix struct {
 	cells   *parallel.ByteArray
 	q       int
@@ -57,28 +61,40 @@ func (m *Matrix) dimension(n, q int, fresh bool) {
 func (m *Matrix) Q() int { return m.q }
 
 // Get returns the hitting level of node v for keyword j.
+//
+//wikisearch:hotpath
 func (m *Matrix) Get(v graph.NodeID, j int) uint8 { return m.cells.Get(int(v)*m.stride + j) }
 
 // Set stores the hitting level of node v for keyword j.
+//
+//wikisearch:hotpath
 func (m *Matrix) Set(v graph.NodeID, j int, level uint8) { m.cells.Set(int(v)*m.stride+j, level) }
 
 // MarkHit stores the hitting level of node v for keyword j with a single
 // atomic AND (no CAS loop). Valid only for the search's ∞ → level transition
 // — the cell must currently be Infinity or already hold level.
+//
+//wikisearch:hotpath
 func (m *Matrix) MarkHit(v graph.NodeID, j int, level uint8) {
 	m.cells.SetMonotone(int(v)*m.stride+j, level)
 }
 
 // Hit reports whether node v has been hit by BFS instance j.
+//
+//wikisearch:hotpath
 func (m *Matrix) Hit(v graph.NodeID, j int) bool { return m.Get(v, j) != Infinity }
 
 // AllHit reports whether node v has been hit by every BFS instance — the
 // Central Node condition of Definition 3.
+//
+//wikisearch:hotpath
 func (m *Matrix) AllHit(v graph.NodeID) bool { return m.MissMask(v) == 0 }
 
 // MaxHit returns the largest finite hitting level of node v — the Central
 // Graph depth of Eq. 1 when v is central. The second return is false when
 // some instance never hit v.
+//
+//wikisearch:hotpath
 func (m *Matrix) MaxHit(v graph.NodeID) (uint8, bool) {
 	var mx uint8
 	base := int(v) * m.stride
@@ -95,6 +111,8 @@ func (m *Matrix) MaxHit(v graph.NodeID) (uint8, bool) {
 }
 
 // Row copies node v's hitting levels into dst (len q) with word-wide loads.
+//
+//wikisearch:hotpath
 func (m *Matrix) Row(v graph.NodeID, dst []uint8) {
 	m.cells.LoadRow(int(v)*m.stride, dst)
 }
@@ -103,6 +121,8 @@ func (m *Matrix) Row(v graph.NodeID, dst []uint8) {
 // BFS instance j (cell == Infinity). Thanks to the padded stride one aligned
 // word-wide load covers eight columns, so the flattened kernel tests all q
 // instances of a neighbor in one or two loads instead of q point reads.
+//
+//wikisearch:hotpath
 func (m *Matrix) MissMask(v graph.NodeID) uint64 {
 	wi := int(v) * (m.stride >> 3)
 	mask := m.cells.MatchWord(wi, Infinity)
@@ -114,11 +134,16 @@ func (m *Matrix) MissMask(v graph.NodeID) uint64 {
 
 // WordsPerRow returns the number of uint64 words a padded row spans (1 for
 // q ≤ 8 — the common case the expansion kernel specializes for).
+//
+//wikisearch:hotpath
 func (m *Matrix) WordsPerRow() int { return m.stride >> 3 }
 
 // Words exposes the backing words, one row per WordsPerRow() words. Hot
 // loops combine it with parallel.MatchFlags to test a whole row per atomic
 // load without any call overhead; everything else should use the cell API.
+//
+//wikisearch:atomicalias
+//wikisearch:hotpath
 func (m *Matrix) Words() []uint64 { return m.cells.Words() }
 
 // ByteSize returns the matrix footprint in bytes (including row padding),

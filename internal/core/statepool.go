@@ -13,7 +13,10 @@ import (
 // its buffers to the graph's size, the bottom-up stage runs without
 // allocating at all (the top-down stage still allocates the answers it
 // returns). A SearchState is not safe for concurrent use; serve concurrent
-// queries from a pool of states (see the engine's sync.Pool).
+// queries from a pool of states (see the engine's sync.Pool). A SearchState
+// must not be copied: a copy aliases the owned search structures.
+//
+//wikisearch:nocopy
 type SearchState struct {
 	st   state
 	pool *parallel.Pool

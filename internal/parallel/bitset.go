@@ -20,8 +20,13 @@ const wordBits = 64
 
 // Bitset is a fixed-size bitset safe for concurrent Set/Get. All mutating
 // operations other than Set/Clear assume exclusive access (they are called
-// only between phases, under the level barrier).
+// only between phases, under the level barrier). A Bitset must not be
+// copied: a copy aliases the shared word storage.
+//
+//wikisearch:nocopy
 type Bitset struct {
+	// words is written concurrently by all workers during a phase.
+	//wikisearch:atomic
 	words []uint64
 	n     int
 }
@@ -35,6 +40,8 @@ func NewBitset(n int) *Bitset {
 func (b *Bitset) Len() int { return b.n }
 
 // Set atomically sets bit i. Safe for concurrent use.
+//
+//wikisearch:hotpath
 func (b *Bitset) Set(i int) {
 	atomic.OrUint64(&b.words[i/wordBits], 1<<(uint(i)%wordBits))
 }
@@ -46,6 +53,8 @@ func (b *Bitset) Set(i int) {
 // lists built from it partition the dirty words with no duplicates, letting
 // frontier extraction and reset skip clean words entirely. Safe for
 // concurrent use.
+//
+//wikisearch:hotpath
 func (b *Bitset) SetTouch(i int) (word int, first bool) {
 	wi := i / wordBits
 	bit := uint64(1) << (uint(i) % wordBits)
@@ -63,6 +72,9 @@ func (b *Bitset) SetTouch(i int) (word int, first bool) {
 // ascending order and clears the word. Requires exclusive access. Draining
 // exactly the touched words in ascending word order reproduces AppendSet's
 // canonical ascending frontier without scanning the whole set.
+//
+//wikisearch:hotpath
+//wikisearch:exclusive called between phases under the level barrier
 func (b *Bitset) DrainWord(wi int, dst []int32) []int32 {
 	w := b.words[wi]
 	b.words[wi] = 0
@@ -76,6 +88,8 @@ func (b *Bitset) DrainWord(wi int, dst []int32) []int32 {
 }
 
 // Clear atomically clears bit i. Safe for concurrent use.
+//
+//wikisearch:hotpath
 func (b *Bitset) Clear(i int) {
 	atomic.AndUint64(&b.words[i/wordBits], ^(uint64(1) << (uint(i) % wordBits)))
 }
@@ -83,11 +97,15 @@ func (b *Bitset) Clear(i int) {
 // Get reports whether bit i is set. Safe for concurrent use with Set/Clear
 // on other bits; reads of a concurrently-written bit are linearized by the
 // atomic load.
+//
+//wikisearch:hotpath
 func (b *Bitset) Get(i int) bool {
 	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
 }
 
 // Reset zeroes the whole set. Requires exclusive access.
+//
+//wikisearch:exclusive callers hold the only reference between phases
 func (b *Bitset) Reset() {
 	for i := range b.words {
 		b.words[i] = 0
@@ -97,6 +115,8 @@ func (b *Bitset) Reset() {
 // Resize re-dimensions the set to hold n bits, all zero, reusing the backing
 // array when its capacity suffices (the per-query state pool relies on this
 // being allocation-free at steady state). Requires exclusive access.
+//
+//wikisearch:exclusive callers hold the only reference during (re)init
 func (b *Bitset) Resize(n int) {
 	words := (n + wordBits - 1) / wordBits
 	if cap(b.words) < words {
@@ -111,6 +131,8 @@ func (b *Bitset) Resize(n int) {
 }
 
 // Count returns the number of set bits. Requires exclusive access.
+//
+//wikisearch:exclusive called between phases under the level barrier
 func (b *Bitset) Count() int {
 	c := 0
 	for _, w := range b.words {
@@ -123,6 +145,8 @@ func (b *Bitset) Count() int {
 // Requires exclusive access. This is the sequential frontier-enqueue step of
 // Algorithm 1 ("on CPU locked writing is so expensive and the fastest way is
 // to enqueue frontiers in a sequential manner").
+//
+//wikisearch:exclusive called between phases under the level barrier
 func (b *Bitset) AppendSet(dst []int32) []int32 {
 	for wi, w := range b.words {
 		base := int32(wi * wordBits)
@@ -137,6 +161,8 @@ func (b *Bitset) AppendSet(dst []int32) []int32 {
 
 // ForEachSet calls fn for every set bit in ascending order. Requires
 // exclusive access.
+//
+//wikisearch:exclusive called between phases under the level barrier
 func (b *Bitset) ForEachSet(fn func(i int)) {
 	for wi, w := range b.words {
 		base := wi * wordBits

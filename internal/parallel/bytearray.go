@@ -11,9 +11,15 @@ import "sync/atomic"
 //
 // Cells are packed eight per uint64 word, so one atomic load covers eight
 // cells — the expansion kernel's word-wide row reads (LoadRow, MatchMask)
-// are built on that.
+// are built on that. A ByteArray must not be copied: a copy aliases the
+// shared cell storage.
+//
+//wikisearch:nocopy
 type ByteArray struct {
-	data []uint64 // one byte per cell, packed 8 per word
+	// data is written concurrently by all workers during a phase,
+	// one byte per cell, packed 8 per word.
+	//wikisearch:atomic
+	data []uint64
 	n    int
 }
 
@@ -29,6 +35,8 @@ const (
 func broadcast(v byte) uint64 { return uint64(v) * lowBytes }
 
 // NewByteArray returns an array of n cells initialized to fill.
+//
+//wikisearch:exclusive construction precedes publication
 func NewByteArray(n int, fill byte) *ByteArray {
 	a := &ByteArray{data: make([]uint64, (n+7)/8), n: n}
 	if fill != 0 {
@@ -44,6 +52,8 @@ func NewByteArray(n int, fill byte) *ByteArray {
 func (a *ByteArray) Len() int { return a.n }
 
 // Get atomically loads cell i.
+//
+//wikisearch:hotpath
 func (a *ByteArray) Get(i int) byte {
 	w := atomic.LoadUint64(&a.data[i>>3])
 	return byte(w >> (uint(i&7) * 8))
@@ -53,6 +63,8 @@ func (a *ByteArray) Get(i int) byte {
 // Concurrent Sets to the same cell must write the same value (which the
 // search guarantees); concurrent Sets to different cells in one word are
 // resolved by the CAS loop.
+//
+//wikisearch:hotpath
 func (a *ByteArray) Set(i int, v byte) {
 	shift := uint(i&7) * 8
 	mask := uint64(0xFF) << shift
@@ -72,12 +84,16 @@ func (a *ByteArray) Set(i int, v byte) {
 // which holds for the search's only write, the one-shot ∞ (0xFF) → level
 // transition — and is idempotent, so Theorem V.2's same-value concurrent
 // writes commute exactly as with Set.
+//
+//wikisearch:hotpath
 func (a *ByteArray) SetMonotone(i int, v byte) {
 	shift := uint(i&7) * 8
 	atomic.AndUint64(&a.data[i>>3], uint64(v)<<shift|^(uint64(0xFF)<<shift))
 }
 
 // Fill resets every cell to v. Requires exclusive access.
+//
+//wikisearch:exclusive callers hold the only reference during (re)init
 func (a *ByteArray) Fill(v byte) {
 	w := broadcast(v)
 	for i := range a.data {
@@ -89,6 +105,8 @@ func (a *ByteArray) Fill(v byte) {
 // backing storage when its capacity suffices (the per-query state pool
 // relies on this being allocation-free at steady state). Requires exclusive
 // access.
+//
+//wikisearch:exclusive callers hold the only reference during (re)init
 func (a *ByteArray) Resize(n int, fill byte) {
 	words := (n + 7) / 8
 	if cap(a.data) < words {
@@ -103,6 +121,8 @@ func (a *ByteArray) Resize(n int, fill byte) {
 // LoadRow copies cells [base, base+len(dst)) into dst using word-wide atomic
 // loads — one load per eight cells instead of one per cell. The expansion
 // kernel uses it to snapshot a node's matrix row once per adjacency pass.
+//
+//wikisearch:hotpath
 func (a *ByteArray) LoadRow(base int, dst []byte) {
 	n := len(dst)
 	i := 0
@@ -133,6 +153,8 @@ func compressFlags(z uint64) uint64 {
 // j in [0, q) with q <= 64. One word-wide atomic load covers eight cells,
 // and a SWAR zero-byte detector compares them all at once — the kernel uses
 // it to find a neighbor's not-yet-hit keyword columns in a single pass.
+//
+//wikisearch:hotpath
 func (a *ByteArray) MatchMask(base, q int, v byte) uint64 {
 	var mask uint64
 	vb := broadcast(v)
@@ -156,6 +178,8 @@ func (a *ByteArray) MatchMask(base, q int, v byte) uint64 {
 // iff cell 8*wi+p equals v) with a single atomic load. Callers that keep
 // rows word-aligned (the matrix pads its row stride) test a whole row in one
 // call with no offset handling.
+//
+//wikisearch:hotpath
 func (a *ByteArray) MatchWord(wi int, v byte) uint64 {
 	return MatchFlags(atomic.LoadUint64(&a.data[wi]), v)
 }
@@ -164,6 +188,8 @@ func (a *ByteArray) MatchWord(wi int, v byte) uint64 {
 // is the pure SWAR core of MatchWord, exported so hot loops that hold the
 // backing words (see Words) can test eight cells per load with everything
 // inlined.
+//
+//wikisearch:hotpath
 func MatchFlags(w uint64, v byte) uint64 {
 	return compressFlags(zeroBytes(w ^ broadcast(v)))
 }
@@ -172,4 +198,7 @@ func MatchFlags(w uint64, v byte) uint64 {
 // access it with sync/atomic word operations and respect the same exclusive
 // access rules as the cell API; it exists so the expansion kernel's inner
 // loop can fold the word load into its own body.
+//
+//wikisearch:atomicalias
+//wikisearch:hotpath
 func (a *ByteArray) Words() []uint64 { return a.data }

@@ -137,7 +137,10 @@ type Result struct {
 	TransferSeconds float64
 }
 
-// Search answers a keyword query.
+// Search answers a keyword query. It runs under context.Background; request
+// handlers must use SearchContext so deadlines and disconnects propagate.
+//
+//wikisearch:bgcontext
 func (e *Engine) Search(q Query) (*Result, error) {
 	return e.SearchContext(context.Background(), q)
 }
