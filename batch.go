@@ -1,0 +1,464 @@
+package wikisearch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wikisearch/internal/core"
+)
+
+// BatchOptions tunes the engine's shared-frontier query batching. Batching
+// multiplexes concurrent searches that agree on every expansion-shaping knob
+// (α, λ, thread count, activation) into one bottom-up run over per-query
+// matrix column groups: the shared traversal is paid once instead of once
+// per query, while answers stay bit-identical to solo execution.
+type BatchOptions struct {
+	// Window is how long an open batch waits for companions before it
+	// launches (default 200µs). Shorter windows cost less latency but
+	// coalesce less under moderate load; see DESIGN.md §9 for tuning.
+	Window time.Duration
+	// MaxColumns caps the total keyword columns of one batch (default 8,
+	// max 64). At 8 every multiplexed matrix row is a single machine word,
+	// so the batched kernel keeps the solo kernel's word-wide fast path.
+	MaxColumns int
+	// MaxQueries caps the queries of one batch (default and max 8: the
+	// owner-group attribution packs one bit per query into a byte).
+	MaxQueries int
+	// Observer, when set, receives every batch execution (for metrics).
+	// It must be safe for concurrent use.
+	Observer func(BatchExecution)
+}
+
+// BatchExecution describes one launched batch to the observer.
+type BatchExecution struct {
+	// Queries and Columns are the batch's occupancy at launch: callers
+	// served and distinct keyword columns expanded.
+	Queries int
+	Columns int
+	// Distinct is the number of column groups the batch ran — identical
+	// in-flight queries collapse into one group, so Queries/Distinct is
+	// the batch's duplication ratio.
+	Distinct int
+	// Wait is how long the batch was open before launching.
+	Wait time.Duration
+	// Solo reports that the batch degenerated to a single query and ran
+	// through the ordinary solo path.
+	Solo bool
+}
+
+func (o BatchOptions) defaults() BatchOptions {
+	if o.Window <= 0 {
+		o.Window = 200 * time.Microsecond
+	}
+	if o.MaxColumns <= 0 {
+		o.MaxColumns = 8
+	}
+	if o.MaxColumns > core.MaxKeywords {
+		o.MaxColumns = core.MaxKeywords
+	}
+	if o.MaxQueries <= 0 || o.MaxQueries > core.MaxBatchQueries {
+		o.MaxQueries = core.MaxBatchQueries
+	}
+	return o
+}
+
+// EnableBatching turns on shared-frontier query batching: concurrent
+// Search calls whose queries resolve to the same α, λ, thread count and
+// activation setting are coalesced, within o.Window, into one shared
+// bottom-up expansion. Results are bit-identical to solo execution; only
+// latency (bounded by the window) and throughput change. Safe to call
+// concurrently with searches.
+func (e *Engine) EnableBatching(o BatchOptions) {
+	e.batcher.Store(&batcher{eng: e, opt: o.defaults(), open: map[batchKey][]*openBatch{}})
+}
+
+// DisableBatching turns batching off; in-flight batches drain normally.
+func (e *Engine) DisableBatching() {
+	e.batcher.Store(nil)
+}
+
+// batchKey is the compatibility class of a query: two queries may share a
+// bottom-up expansion only if every knob that shapes the shared traversal
+// is equal. Per-query knobs (k, max level, level-cover) stay exact per
+// column group and are not part of the key.
+type batchKey struct {
+	alpha, lambda     float64
+	threads           int
+	disableActivation bool
+}
+
+// batcher multiplexes admitted queries into per-key open batches and runs
+// launched batches through a bounded set of executor slots: while every
+// slot is busy, open batches keep absorbing members (group commit), and a
+// freed slot immediately picks up the oldest ready batch.
+type batcher struct {
+	eng *Engine
+	opt BatchOptions
+
+	mu sync.Mutex
+	// open holds the accepting batches of each compatibility class, oldest
+	// first. There can be several: a column-full batch stays open absorbing
+	// duplicates of its queries while a younger batch collects fresh ones.
+	open           map[batchKey][]*openBatch
+	ready          []*openBatch // launched batches waiting for a slot, FIFO
+	running        int          // executions in flight
+	runningThreads int          // sum of their Tnum, for the slot bound
+}
+
+// maxBatchEntries caps the callers one batch may serve. Identical queries
+// collapse into one column group, so a batch can hold far more callers than
+// column groups; the cap bounds the twin scan and per-batch memory.
+const maxBatchEntries = 64
+
+// openBatch is one batch accepting members until its window expires, an
+// incompatible query overflows it, or it reaches the entry cap. A batch
+// whose columns are full stays open: duplicates of its members still join
+// for free.
+type openBatch struct {
+	key      batchKey
+	p        core.Params // shared resolved params of the first member
+	entries  []*batchEntry
+	columns  int // keyword columns of the distinct queries
+	distinct int // distinct queries (column groups) admitted
+	timer    *time.Timer
+	launched bool // retired from the open set (ready or running)
+	ripe     bool // window expired while every slot was busy; still absorbing
+	openedAt time.Time
+}
+
+// twin returns whether ob already holds a query identical to e.
+func (ob *openBatch) twin(e *batchEntry) bool {
+	for _, m := range ob.entries {
+		if sameQuery(m, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameQuery reports whether two admitted entries are the same search:
+// equal resolved terms and equal per-query knobs. The batch-shaping knobs
+// (α, λ, threads, activation) are already equal through the batch key, and
+// only the matrix-based variants are eligible, so these fields are the
+// whole difference; such twins share one column group and one answer set.
+func sameQuery(a, b *batchEntry) bool {
+	if a.q.TopK != b.q.TopK || a.q.MaxLevel != b.q.MaxLevel ||
+		a.q.DisableLevelCover != b.q.DisableLevelCover {
+		return false
+	}
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchEntry is one admitted query waiting for its batch to run.
+type batchEntry struct {
+	q     Query
+	ctx   context.Context
+	in    core.Input
+	terms []string
+
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// eligible reports whether q can be batched at all: only the matrix-based
+// CPU variants share a state, and the query must fit a batch by itself.
+func (b *batcher) eligible(q Query, nterms int) bool {
+	if q.Variant != CPUPar && q.Variant != Sequential {
+		return false
+	}
+	return nterms <= b.opt.MaxColumns
+}
+
+// do admits a prepared query and waits for its batch to deliver. A caller
+// whose context fires stops waiting immediately; the batch still completes
+// for its other members.
+func (b *batcher) do(ctx context.Context, q Query, in core.Input, terms []string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &batchEntry{q: q, ctx: ctx, in: in, terms: terms, done: make(chan struct{})}
+	b.admit(e)
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admit places e into an open batch of its compatibility class, opening one
+// (with a launch timer) if needed. A duplicate of an admitted query joins
+// its batch for free — it adds no columns — so even a column-full batch
+// keeps absorbing repeats of the queries it already carries. A distinct
+// query joins the oldest batch with column room, or opens a fresh one; the
+// full batches stay open for their duplicates until their windows fire.
+func (b *batcher) admit(e *batchEntry) {
+	p := b.eng.params(e.q)
+	key := batchKey{alpha: p.Alpha, lambda: p.Lambda, threads: p.Threads, disableActivation: e.q.DisableActivation}
+	cols := len(e.terms)
+
+	b.mu.Lock()
+	var ob *openBatch
+	twin := false
+	for _, o := range b.open[key] {
+		if o.twin(e) {
+			ob, twin = o, true
+			break
+		}
+	}
+	if ob == nil {
+		for _, o := range b.open[key] {
+			if o.columns+cols <= b.opt.MaxColumns && o.distinct < b.opt.MaxQueries {
+				ob = o
+				break
+			}
+		}
+	}
+	if ob == nil {
+		ob = &openBatch{key: key, p: p, openedAt: time.Now()}
+		b.open[key] = append(b.open[key], ob)
+		ob.timer = time.AfterFunc(b.opt.Window, func() { b.windowExpired(ob) })
+	}
+	ob.entries = append(ob.entries, e)
+	if !twin {
+		ob.columns += cols
+		ob.distinct++
+	}
+	if len(ob.entries) >= maxBatchEntries {
+		b.retireLocked(ob)
+		b.dispatchLocked()
+	}
+	b.mu.Unlock()
+}
+
+// windowExpired ripens ob when its coalescing window elapses: the batch is
+// now willing to run, but it stays open — still absorbing members — until a
+// dispatch can actually start it. With a free executor slot that is
+// immediate; on a saturated machine it is the moment a slot frees.
+func (b *batcher) windowExpired(ob *openBatch) {
+	b.mu.Lock()
+	if !ob.launched {
+		ob.ripe = true
+		b.dispatchLocked()
+	}
+	b.mu.Unlock()
+}
+
+// slotFreeLocked (b.mu held) reports whether an execution needing thr
+// workers may start now. At least one execution always may.
+func (b *batcher) slotFreeLocked(thr int) bool {
+	return b.running == 0 || b.runningThreads+thr <= runtime.GOMAXPROCS(0)
+}
+
+// retireLocked (b.mu held) moves ob from the open set to the ready queue;
+// it stops accepting members once retired.
+func (b *batcher) retireLocked(ob *openBatch) {
+	ob.launched = true
+	ob.timer.Stop()
+	obs := b.open[ob.key]
+	for i, o := range obs {
+		if o == ob {
+			b.open[ob.key] = append(obs[:i], obs[i+1:]...)
+			break
+		}
+	}
+	if len(b.open[ob.key]) == 0 {
+		delete(b.open, ob.key)
+	}
+	b.ready = append(b.ready, ob)
+}
+
+// oldestRipeLocked (b.mu held) returns the ripe open batch that has waited
+// longest, or nil.
+func (b *batcher) oldestRipeLocked() *openBatch {
+	var best *openBatch
+	for _, obs := range b.open {
+		for _, o := range obs {
+			if o.ripe && (best == nil || o.openedAt.Before(best.openedAt)) {
+				best = o
+			}
+		}
+	}
+	return best
+}
+
+// dispatchLocked (b.mu held) starts executions while slots are free: the
+// ready queue first, then the oldest ripe open batch. Ripe batches are
+// retired one at a time, each at the moment a slot can take it, so the ones
+// still waiting keep absorbing members. Admission never blocks behind a
+// search: execution happens on its own goroutine.
+func (b *batcher) dispatchLocked() {
+	for {
+		if len(b.ready) == 0 {
+			if o := b.oldestRipeLocked(); o != nil && b.slotFreeLocked(o.p.Threads) {
+				b.retireLocked(o)
+			}
+		}
+		if len(b.ready) == 0 || !b.slotFreeLocked(b.ready[0].p.Threads) {
+			return
+		}
+		ob := b.ready[0]
+		b.ready = b.ready[1:]
+		b.running++
+		b.runningThreads += ob.p.Threads
+		go b.exec(ob)
+	}
+}
+
+// exec runs one batch, then releases its slot and dispatches whatever
+// became ready in the meantime — the ready queue first, then the batch that
+// ripened while the slots were busy.
+func (b *batcher) exec(ob *openBatch) {
+	b.run(ob)
+	// On a saturated machine the members just woken by run — and any window
+	// timers that expired during it — have not had the CPU yet. Yield before
+	// releasing the slot so resubmissions land in open batches and those
+	// batches ripen while the slot still reads busy; the dispatch below then
+	// starts whole groups instead of one-query fragments.
+	runtime.Gosched()
+	b.mu.Lock()
+	b.running--
+	b.runningThreads -= ob.p.Threads
+	b.dispatchLocked()
+	b.mu.Unlock()
+}
+
+func (b *batcher) observe(ex BatchExecution) {
+	if b.opt.Observer != nil {
+		b.opt.Observer(ex)
+	}
+}
+
+// run executes a launched batch: members whose callers already gave up are
+// dropped, a lone survivor takes the ordinary solo path, and the remaining
+// distinct queries share one bottom-up expansion via column groups —
+// identical queries collapse into one group and each member resolves its
+// own answer set from the shared result.
+func (b *batcher) run(ob *openBatch) {
+	wait := time.Since(ob.openedAt)
+	live := ob.entries[:0]
+	for _, e := range ob.entries {
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
+			close(e.done)
+			continue
+		}
+		live = append(live, e)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 {
+		e := live[0]
+		e.res, e.err = b.eng.runPrepared(e.ctx, e.q, e.in, e.terms)
+		close(e.done)
+		b.observe(BatchExecution{Queries: 1, Columns: len(e.terms), Distinct: 1, Wait: wait, Solo: true})
+		return
+	}
+
+	// Collapse twins: reps holds the first member of every distinct query,
+	// gi maps each live member to its column group.
+	reps := make([]*batchEntry, 0, len(live))
+	gi := make([]int, len(live))
+	for i, e := range live {
+		gi[i] = -1
+		for j, r := range reps {
+			if sameQuery(r, e) {
+				gi[i] = j
+				break
+			}
+		}
+		if gi[i] < 0 {
+			gi[i] = len(reps)
+			reps = append(reps, e)
+		}
+	}
+
+	p := ob.p
+	cancel := mergeCancel(&p, live)
+	if cancel != nil {
+		defer cancel()
+	}
+
+	var levels []uint8
+	if ob.key.disableActivation {
+		levels = b.eng.zeroLevels()
+	} else {
+		levels = b.eng.activationLevels(p.Alpha, p.Threads)
+	}
+	bin := core.BatchInput{G: b.eng.g, Weights: b.eng.weights, Levels: levels}
+	cols := 0
+	for _, e := range reps {
+		bin.Queries = append(bin.Queries, core.BatchQuery{
+			Terms:             e.terms,
+			Sources:           e.in.Sources,
+			TopK:              e.q.TopK,
+			MaxLevel:          e.q.MaxLevel,
+			DisableLevelCover: e.q.DisableLevelCover,
+		})
+		cols += len(e.terms)
+	}
+
+	st := b.eng.acquireState()
+	results, err := st.SearchBatch(bin, p)
+	b.eng.releaseState(st)
+
+	for i, e := range live {
+		if err != nil {
+			// The shared run can only be cancelled once every member's
+			// context fired; report each member its own context error.
+			if cerr := e.ctx.Err(); cerr != nil {
+				e.err = cerr
+			} else {
+				e.err = err
+			}
+		} else {
+			e.res = b.eng.resolve(e.terms, results[gi[i]], 0)
+		}
+		close(e.done)
+	}
+	b.observe(BatchExecution{Queries: len(live), Columns: cols, Distinct: len(reps), Wait: wait})
+}
+
+// mergeCancel wires the members' contexts into the shared run: the batch is
+// cancelled only when every member's context has fired, so one impatient
+// caller never aborts its companions. Members with uncancellable contexts
+// pin the run; no merged context is installed then. The returned cleanup
+// (nil when no context was installed) releases the watchers.
+func mergeCancel(p *core.Params, live []*batchEntry) func() {
+	for _, e := range live {
+		if e.ctx.Done() == nil {
+			return nil
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(int64(len(live)))
+	stops := make([]func() bool, 0, len(live))
+	for _, e := range live {
+		stops = append(stops, context.AfterFunc(e.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	p.Ctx = ctx
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,338 @@
+package wikisearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sameResult compares the query-visible parts of two results, ignoring
+// timing (Phases, Total).
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Terms, b.Terms) {
+		t.Fatalf("%s: terms %v vs %v", label, a.Terms, b.Terms)
+	}
+	if a.Depth != b.Depth || a.Candidates != b.Candidates {
+		t.Fatalf("%s: depth/candidates %d/%d vs %d/%d", label, a.Depth, a.Candidates, b.Depth, b.Candidates)
+	}
+	if !reflect.DeepEqual(a.Answers, b.Answers) {
+		t.Fatalf("%s: answers differ:\n%+v\n%+v", label, a.Answers, b.Answers)
+	}
+}
+
+// batchTestQueries is a compatible workload: same α/λ/threads, varied text
+// and k.
+func batchTestQueries() []Query {
+	return []Query{
+		{Text: "xml rdf sql", TopK: 3, Threads: 2},
+		{Text: "sparql rdf", TopK: 2, Threads: 2},
+		{Text: "xml xpath", TopK: 4, Threads: 2},
+		{Text: "sql query language", TopK: 1, Threads: 2},
+	}
+}
+
+// TestEngineBatchingEquivalence: with batching enabled, concurrent
+// compatible searches return exactly what they return solo.
+func TestEngineBatchingEquivalence(t *testing.T) {
+	eng := newTestEngine(t)
+	queries := batchTestQueries()
+	refs := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := eng.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+
+	var mu sync.Mutex
+	var execs []BatchExecution
+	eng.EnableBatching(BatchOptions{
+		Window:   50 * time.Millisecond,
+		Observer: func(ex BatchExecution) { mu.Lock(); execs = append(execs, ex); mu.Unlock() },
+	})
+	defer eng.DisableBatching()
+
+	for round := 0; round < 3; round++ {
+		got := make([]*Result, len(queries))
+		errs := make([]error, len(queries))
+		var wg sync.WaitGroup
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q Query) {
+				defer wg.Done()
+				got[i], errs[i] = eng.Search(context.Background(), q)
+			}(i, q)
+		}
+		wg.Wait()
+		for i := range queries {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			sameResult(t, fmt.Sprintf("round %d query %d", round, i), refs[i], got[i])
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(execs) == 0 {
+		t.Fatal("observer saw no batch executions")
+	}
+	var coalesced bool
+	for _, ex := range execs {
+		if ex.Queries > 1 {
+			coalesced = true
+		}
+		if ex.Queries == 1 && !ex.Solo {
+			t.Fatalf("single-query batch not marked solo: %+v", ex)
+		}
+	}
+	if !coalesced {
+		t.Fatalf("no execution coalesced more than one query: %+v", execs)
+	}
+}
+
+// TestEngineBatchingDedup: identical concurrent queries collapse into one
+// column group — the observer reports fewer distinct groups than callers —
+// and every caller still gets the exact solo answer set.
+func TestEngineBatchingDedup(t *testing.T) {
+	eng := newTestEngine(t)
+	q := Query{Text: "xml rdf sql", TopK: 3, Threads: 2}
+	companion := Query{Text: "sparql rdf", TopK: 2, Threads: 2}
+	refQ, err := eng.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refC, err := eng.Search(context.Background(), companion)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var execs []BatchExecution
+	eng.EnableBatching(BatchOptions{
+		Window:   50 * time.Millisecond,
+		Observer: func(ex BatchExecution) { mu.Lock(); execs = append(execs, ex); mu.Unlock() },
+	})
+	defer eng.DisableBatching()
+
+	const dups = 6
+	got := make([]*Result, dups)
+	errs := make([]error, dups)
+	var gotC *Result
+	var errC error
+	var wg sync.WaitGroup
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = eng.Search(context.Background(), q)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gotC, errC = eng.Search(context.Background(), companion)
+	}()
+	wg.Wait()
+	for i := 0; i < dups; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		sameResult(t, fmt.Sprintf("dup %d", i), refQ, got[i])
+	}
+	if errC != nil {
+		t.Fatal(errC)
+	}
+	sameResult(t, "companion", refC, gotC)
+
+	mu.Lock()
+	defer mu.Unlock()
+	deduped := false
+	for _, ex := range execs {
+		if ex.Distinct < 1 || ex.Distinct > ex.Queries {
+			t.Fatalf("execution with bad distinct count: %+v", ex)
+		}
+		if ex.Distinct < ex.Queries {
+			deduped = true
+		}
+	}
+	if !deduped {
+		t.Fatalf("no execution collapsed duplicate queries: %+v", execs)
+	}
+}
+
+// TestEngineBatchingIncompatibleKnobs: queries differing in α must not
+// share a batch — the activation levels shape the whole expansion.
+func TestEngineBatchingIncompatibleKnobs(t *testing.T) {
+	eng := newTestEngine(t)
+	ref1, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Threads: 2, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng.EnableBatching(BatchOptions{Window: 50 * time.Millisecond})
+	defer eng.DisableBatching()
+	var wg sync.WaitGroup
+	var got1, got2 *Result
+	var err1, err2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		got1, err1 = eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Threads: 2})
+	}()
+	go func() {
+		defer wg.Done()
+		got2, err2 = eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Threads: 2, Alpha: 0.5})
+	}()
+	wg.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	sameResult(t, "alpha 0.1", ref1, got1)
+	sameResult(t, "alpha 0.5", ref2, got2)
+}
+
+// TestEngineBatchingCancelledMember: a member whose context fires before
+// the batch launches gets its context error; companions are unaffected.
+func TestEngineBatchingCancelledMember(t *testing.T) {
+	eng := newTestEngine(t)
+	ref, err := eng.Search(context.Background(), Query{Text: "sparql rdf", TopK: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng.EnableBatching(BatchOptions{Window: 100 * time.Millisecond})
+	defer eng.DisableBatching()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	var gotErr error
+	var companion *Result
+	var companionErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, gotErr = eng.Search(ctx, Query{Text: "xml rdf sql", TopK: 2, Threads: 2})
+	}()
+	go func() {
+		defer wg.Done()
+		companion, companionErr = eng.Search(context.Background(), Query{Text: "sparql rdf", TopK: 2, Threads: 2})
+	}()
+	wg.Wait()
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("cancelled member: err = %v", gotErr)
+	}
+	if companionErr != nil {
+		t.Fatal(companionErr)
+	}
+	sameResult(t, "companion", ref, companion)
+}
+
+// TestEngineBatchingOverflow: a query that cannot fit the open batch fires
+// it early; an oversized query bypasses batching entirely. Both still
+// answer correctly.
+func TestEngineBatchingOverflow(t *testing.T) {
+	eng := newTestEngine(t)
+	eng.EnableBatching(BatchOptions{Window: 10 * time.Millisecond, MaxColumns: 2})
+	defer eng.DisableBatching()
+	// Three columns > MaxColumns 2: ineligible, runs solo, still correct.
+	res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	// Two two-column queries overflow a MaxColumns-2 batch; the second
+	// fires the first early and both complete.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Search(context.Background(), Query{Text: "sparql rdf", TopK: 1}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestQueryValidate exercises the shared knob bounds.
+func TestQueryValidate(t *testing.T) {
+	valid := []Query{
+		{},
+		{TopK: 1, Alpha: 0.01, Lambda: 1, MaxLevel: 250},
+		{TopK: 200, Variant: BANKS},
+		{Variant: ExactGST, MaxStates: 10},
+	}
+	for i, q := range valid {
+		if err := q.Validate(); err != nil {
+			t.Errorf("valid query %d rejected: %v", i, err)
+		}
+	}
+	invalid := map[string]Query{
+		"k low":       {TopK: -1},
+		"k high":      {TopK: 201},
+		"alpha low":   {Alpha: -0.1},
+		"alpha high":  {Alpha: 1},
+		"lambda low":  {Lambda: -0.5},
+		"lambda high": {Lambda: 1.5},
+		"maxlevel":    {MaxLevel: 251},
+		"variant":     {Variant: Variant(99)},
+	}
+	for name, q := range invalid {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDeprecatedWrappers: the pre-v1 entry points still work and agree
+// with the unified API.
+func TestDeprecatedWrappers(t *testing.T) {
+	eng := newTestEngine(t)
+	a, err := eng.SearchBackground(Query{Text: "xml rdf sql", TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.SearchContext(context.Background(), Query{Text: "xml rdf sql", TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "background vs context", a, b)
+
+	gres, err := eng.SearchExactGST("xml rdf sql", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Variant: ExactGST})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniRes.GST == nil || len(uniRes.GST.Trees) != len(gres.Trees) {
+		t.Fatalf("unified GST result disagrees: %+v vs %+v", uniRes.GST, gres)
+	}
+
+	bres, err := eng.SearchBANKS("xml rdf sql", 2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniB, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Variant: BANKS, Bidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniB.Banks == nil || len(uniB.Banks.Trees) != len(bres.Trees) {
+		t.Fatalf("unified BANKS result disagrees: %+v vs %+v", uniB.Banks, bres)
+	}
+}

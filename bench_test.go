@@ -9,6 +9,7 @@ package wikisearch_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"sync"
@@ -58,7 +59,7 @@ func searchBench(b *testing.B, v wikisearch.Variant, knum, topk int, alpha float
 	qs := queries(b, knum)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Eng.Search(wikisearch.Query{
+		res, err := e.Eng.Search(context.Background(), wikisearch.Query{
 			Text: qs[i%len(qs)], TopK: topk, Alpha: alpha, Threads: threads, Variant: v,
 		})
 		if err != nil {
@@ -182,7 +183,7 @@ func BenchmarkFig11Effectiveness(b *testing.B) {
 	q := strings.Join(p.Keywords, " ")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Eng.Search(wikisearch.Query{Text: q, TopK: 20, Threads: 4})
+		res, err := e.Eng.Search(context.Background(), wikisearch.Query{Text: q, TopK: 20, Threads: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

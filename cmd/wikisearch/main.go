@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +74,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
 			return
 		}
-		res, err := eng.Search(wikisearch.Query{
+		res, err := eng.Search(context.Background(), wikisearch.Query{
 			Text: q, TopK: *topk, Alpha: *alpha, Threads: *threads, Variant: v,
 		})
 		if err != nil {

@@ -32,7 +32,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request search deadline (<=0 disables)")
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrent searches before fast-fail 503 (<=0 disables)")
 		cacheSize   = flag.Int("cache", 256, "query-result cache entries (<=0 disables)")
-		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
+		batchWindow = flag.Duration("batch-window", 200*time.Microsecond,
+			"coalescing window for shared-frontier query batching (<=0 disables)")
+		batchCols = flag.Int("batch-columns", 8, "max keyword columns per batch")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
 	if *kbPath == "" {
@@ -44,10 +47,12 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := server.Config{
-		Timeout:     *timeout,
-		MaxInFlight: *maxInFlight,
-		CacheSize:   *cacheSize,
-		Logger:      log.Default(),
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInFlight,
+		CacheSize:    *cacheSize,
+		BatchWindow:  *batchWindow,
+		BatchColumns: *batchCols,
+		Logger:       log.Default(),
 	}
 	// The flag convention is <=0 disables; Config uses negative for that
 	// and 0 for defaults, so map explicitly.
@@ -60,9 +65,12 @@ func main() {
 	if *cacheSize <= 0 {
 		cfg.CacheSize = -1
 	}
-	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s (timeout=%v max-inflight=%d cache=%d)",
+	if *batchWindow <= 0 {
+		cfg.BatchWindow = -1
+	}
+	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s (timeout=%v max-inflight=%d cache=%d batch-window=%v)",
 		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr,
-		*timeout, *maxInFlight, *cacheSize)
+		*timeout, *maxInFlight, *cacheSize, *batchWindow)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.NewWithConfig(eng, cfg),

@@ -23,8 +23,14 @@
 //
 //	eng, err := wikisearch.LoadEngine("wiki2018-sim.wskb", wikisearch.EngineOptions{})
 //	if err != nil { ... }
-//	res, err := eng.Search(wikisearch.Query{Text: "sql rdf knowledge base"})
+//	res, err := eng.Search(ctx, wikisearch.Query{Text: "sql rdf knowledge base"})
 //	for _, a := range res.Answers {
 //		fmt.Println(a.CentralLabel, a.Score)
 //	}
+//
+// Search is the single entry point for every variant (Query.Variant selects
+// CPUPar, Sequential, GPU, the lock-based CPU-Par-d, or the ExactGST and
+// BANKS baselines). Under concurrent load, EnableBatching coalesces
+// compatible searches into one shared bottom-up expansion with answers
+// bit-identical to solo execution; see DESIGN.md §9.
 package wikisearch

@@ -1,13 +1,14 @@
 package wikisearch
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestWriteDOT(t *testing.T) {
 	eng := newTestEngine(t)
-	res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 1})
+	res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

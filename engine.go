@@ -85,9 +85,13 @@ type Engine struct {
 	stateNews   atomic.Int64
 	stateReuses atomic.Int64
 
-	// observer, when set, is invoked after every SearchContext call with
-	// the outcome; the serving layer uses it to feed latency metrics.
+	// observer, when set, is invoked after every Search call with the
+	// outcome; the serving layer uses it to feed latency metrics.
 	observer atomic.Pointer[SearchObserver]
+
+	// batcher, when set (EnableBatching), coalesces concurrent compatible
+	// searches into shared bottom-up expansions.
+	batcher atomic.Pointer[batcher]
 }
 
 // levelEntry is one per-α cache slot. The sync.Once guarantees the level

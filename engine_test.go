@@ -73,7 +73,7 @@ func TestAnswerNodeIDsAndDeviation(t *testing.T) {
 	if eng.DistanceDeviation() < 0 {
 		t.Fatal("negative deviation")
 	}
-	res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 1})
+	res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestEngineBasics(t *testing.T) {
 
 func TestSearchFig1Scenario(t *testing.T) {
 	eng := newTestEngine(t)
-	res, err := eng.Search(Query{Text: "XML RDF SQL", TopK: 3})
+	res, err := eng.Search(context.Background(), Query{Text: "XML RDF SQL", TopK: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +160,12 @@ func TestSearchFig1Scenario(t *testing.T) {
 
 func TestSearchVariantsAgree(t *testing.T) {
 	eng := newTestEngine(t)
-	base, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, Variant: Sequential})
+	base, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5, Variant: Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []Variant{CPUPar, CPUParD, GPUPar} {
-		res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, Variant: v})
+		res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5, Variant: v})
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -189,7 +189,7 @@ func TestEngineStatePoolReuse(t *testing.T) {
 	var first *Result
 	const runs = 10
 	for i := 0; i < runs; i++ {
-		res, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5})
+		res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +227,7 @@ func TestWarmEngineKernelAllocationFree(t *testing.T) {
 	eng := newTestEngine(t)
 	q := Query{Text: "xml rdf sql", TopK: 5, Threads: 4}
 	for i := 0; i < 3; i++ { // warm: level cache, state pool, buffer caps
-		if _, err := eng.Search(q); err != nil {
+		if _, err := eng.Search(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -254,20 +254,20 @@ func TestWarmEngineKernelAllocationFree(t *testing.T) {
 
 func TestSearchErrors(t *testing.T) {
 	eng := newTestEngine(t)
-	if _, err := eng.Search(Query{Text: ""}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: ""}); err == nil {
 		t.Fatal("empty query accepted")
 	}
-	if _, err := eng.Search(Query{Text: "the of and"}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "the of and"}); err == nil {
 		t.Fatal("stopword-only query accepted")
 	}
-	if _, err := eng.Search(Query{Text: "zzzzunknownword"}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "zzzzunknownword"}); err == nil {
 		t.Fatal("unmatched keyword accepted")
 	}
-	if _, err := eng.Search(Query{Text: "xml", Variant: Variant(99)}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "xml", Variant: Variant(99)}); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 	long := strings.Repeat("word ", 70)
-	if _, err := eng.Search(Query{Text: long}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: long}); err == nil {
 		t.Fatal("over-long query accepted")
 	}
 }
@@ -286,11 +286,11 @@ func TestEngineSaveLoad(t *testing.T) {
 	if eng2.Name() != "fig1" {
 		t.Fatalf("name = %q", eng2.Name())
 	}
-	a, err := eng.Search(Query{Text: "xml rdf sql", Variant: Sequential})
+	a, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", Variant: Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := eng2.Search(Query{Text: "xml rdf sql", Variant: Sequential})
+	b, err := eng2.Search(context.Background(), Query{Text: "xml rdf sql", Variant: Sequential})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestGenerateDatasetAndSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Search(Query{Text: strings.Join(ds.Planted[0].Keywords, " "), TopK: 10})
+	res, err := eng.Search(context.Background(), Query{Text: strings.Join(ds.Planted[0].Keywords, " "), TopK: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,12 +378,12 @@ func TestGenerateDatasetAndSearch(t *testing.T) {
 
 func TestAblationKnobs(t *testing.T) {
 	eng := newTestEngine(t)
-	base, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5})
+	base, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Without level-cover, answers can only grow.
-	noLC, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, DisableLevelCover: true})
+	noLC, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5, DisableLevelCover: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestAblationKnobs(t *testing.T) {
 		}
 	}
 	// Without activation levels the search still covers all keywords.
-	noAct, err := eng.Search(Query{Text: "xml rdf sql", TopK: 5, DisableActivation: true})
+	noAct, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5, DisableActivation: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestEngineConcurrentSearches(t *testing.T) {
 		alpha := 0.05 + 0.05*float64(g%4) // exercise the level cache
 		go func() {
 			for i := 0; i < 5; i++ {
-				if _, err := eng.Search(Query{Text: "xml rdf sql", Alpha: alpha}); err != nil {
+				if _, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", Alpha: alpha}); err != nil {
 					errs <- err
 					return
 				}
@@ -548,10 +548,10 @@ func TestSearchObserver(t *testing.T) {
 		}
 		oks++
 	})
-	if _, err := eng.Search(Query{Text: "xml rdf sql"}); err != nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "xml rdf sql"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Search(Query{Text: "zzznothing"}); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "zzznothing"}); err == nil {
 		t.Fatal("want error for unmatched keyword")
 	}
 	mu.Lock()
@@ -560,7 +560,7 @@ func TestSearchObserver(t *testing.T) {
 	}
 	mu.Unlock()
 	eng.SetSearchObserver(nil) // removal must not panic searches
-	if _, err := eng.Search(Query{Text: "xml rdf sql"}); err != nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "xml rdf sql"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package wikisearch_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ func ExampleEngine_Search() {
 	g, _ := b.Build()
 
 	eng, _ := wikisearch.NewEngine(g, wikisearch.EngineOptions{AvgDistance: 2})
-	res, _ := eng.Search(wikisearch.Query{Text: "xml rdf sql", TopK: 1})
+	res, _ := eng.Search(context.Background(), wikisearch.Query{Text: "xml rdf sql", TopK: 1})
 
 	a := res.Answers[0]
 	fmt.Println("central:", a.CentralLabel)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,7 +39,7 @@ func main() {
 		fmt.Printf("query: %q\n", q)
 
 		// Central Graph search, parallel lock-free.
-		res, err := eng.Search(wikisearch.Query{Text: q, TopK: 5})
+		res, err := eng.Search(context.Background(), wikisearch.Query{Text: q, TopK: 5})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func main() {
 
 		// Same query through the lock-based dynamic variant: identical
 		// answers, slower expansion.
-		resD, err := eng.Search(wikisearch.Query{Text: q, TopK: 5, Variant: wikisearch.CPUParD})
+		resD, err := eng.Search(context.Background(), wikisearch.Query{Text: q, TopK: 5, Variant: wikisearch.CPUParD})
 		if err != nil {
 			log.Fatal(err)
 		}

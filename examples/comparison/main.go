@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -39,7 +40,7 @@ func main() {
 	fmt.Printf("query %s: %q  (%d planted relevant cores)\n\n", planted.ID, query, len(planted.Cores))
 
 	fmt.Println("--- Central Graphs (WikiSearch) ---")
-	res, err := eng.Search(wikisearch.Query{Text: query, TopK: 5})
+	res, err := eng.Search(context.Background(), wikisearch.Query{Text: query, TopK: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

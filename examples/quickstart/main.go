@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -55,7 +56,7 @@ func main() {
 
 	// 3. Search. Answers are Central Graphs: graph-shaped, possibly with
 	// several nodes contributing the same keyword (here two RDF nodes).
-	res, err := eng.Search(wikisearch.Query{Text: "XML RDF SQL", TopK: 3})
+	res, err := eng.Search(context.Background(), wikisearch.Query{Text: "XML RDF SQL", TopK: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Search(wikisearch.Query{Text: "xml rdf sql", TopK: 3})
+	res, err := eng.Search(context.Background(), wikisearch.Query{Text: "xml rdf sql", TopK: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

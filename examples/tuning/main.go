@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 
 	const query = "data mining information retrieval"
 	for _, alpha := range []float64{0.05, 0.4} {
-		res, err := eng.Search(wikisearch.Query{Text: query, TopK: 1, Alpha: alpha})
+		res, err := eng.Search(context.Background(), wikisearch.Query{Text: query, TopK: 1, Alpha: alpha})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -79,7 +80,7 @@ func (e *Env) ablationRun(queries []string, mutate func(*wikisearch.Query)) (Abl
 	for _, qtext := range queries {
 		q := wikisearch.Query{Text: qtext, TopK: e.Cfg.TopK, Alpha: e.Cfg.Alpha, Threads: e.Cfg.Threads}
 		mutate(&q)
-		res, err := e.Eng.Search(q)
+		res, err := e.Eng.Search(context.Background(), q)
 		if err != nil {
 			return s, err
 		}

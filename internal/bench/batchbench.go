@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wikisearch"
+	"wikisearch/internal/gen"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+// BatchBenchConfig sizes the shared-frontier batching throughput benchmark:
+// a closed-loop swarm of concurrent clients drives the same short-query
+// workload through the engine twice — solo and with batching enabled — and
+// the report compares sustained QPS. Per-execution parallelism is pinned to
+// Tnum=1 on both sides, so the measured gain is the work amortized by
+// multiplexing queries into one expansion, not a parallelism shift.
+type BatchBenchConfig struct {
+	Preset  string        // dataset preset (default "tiny-sim")
+	Clients int           // concurrent closed-loop clients (default 32)
+	Ops     int           // searches measured per side (default 512)
+	Window  time.Duration // coalescing window (default 200µs)
+	Seed    int64         // workload seed (default 1)
+	// Skew is the Zipf exponent of the query stream (default 1.4): real
+	// keyword-search traffic is strongly popularity-skewed, and repeats of
+	// a hot query arriving inside one coalescing window are exactly what
+	// the batcher collapses into a single column group.
+	Skew float64
+}
+
+// Defaults fills unset fields.
+func (c BatchBenchConfig) Defaults() BatchBenchConfig {
+	if c.Preset == "" {
+		c.Preset = "tiny-sim"
+	}
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Ops <= 0 {
+		c.Ops = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 200 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.4
+	}
+	return c
+}
+
+// BatchBenchPoint is one measured side.
+type BatchBenchPoint struct {
+	Mode         string  `json:"mode"` // "solo" or "batched"
+	Ops          int     `json:"ops"`
+	WallMs       float64 `json:"wall_ms"`
+	QPS          float64 `json:"qps"`
+	Batches      int     `json:"batches,omitempty"`       // launched batches (batched side)
+	AvgOccupancy float64 `json:"avg_occupancy,omitempty"` // queries per launched batch
+	AvgDistinct  float64 `json:"avg_distinct,omitempty"`  // column groups per launched batch
+	SoloLaunches int     `json:"solo_launches,omitempty"` // batches that degenerated to one query
+}
+
+// BatchBenchReport is the benchmark outcome, serialized to BENCH_batch.json
+// by `benchrunner -exp batch`.
+type BatchBenchReport struct {
+	Config     BatchBenchConfig  `json:"config"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Queries    int               `json:"distinct_queries"`
+	Points     []BatchBenchPoint `json:"points"`
+	// Speedup is batched QPS over solo QPS.
+	Speedup float64 `json:"speedup"`
+}
+
+// batchBenchWorkload builds the query pool: short queries (1–3 keywords)
+// mixing a handful of frequent keywords with a rare tail, the Zipfian
+// shape of a real query stream. Concurrent queries then share their
+// expensive frequent-keyword waves, which is exactly the work a shared
+// batch expansion scans once instead of once per query; the rare keywords
+// keep the queries distinct.
+func batchBenchWorkload(kb *gen.KB, ix *text.Index, seed int64) []wikisearch.Query {
+	g := kb.Graph
+	rng := rand.New(rand.NewSource(seed))
+
+	// Harvest raw tokens (what a user would type) and rank them by posting
+	// size. Raw tokens matter: stems are not stable under re-stemming.
+	type term struct {
+		raw  string
+		freq int
+	}
+	var terms []term
+	seen := map[string]bool{}
+	for i := 0; i < 4*g.NumNodes() && len(terms) < 512; i++ {
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		for _, raw := range text.Tokenize(g.Label(v) + " " + g.Description(v)) {
+			if text.IsStopword(raw) {
+				continue
+			}
+			norm := text.Normalize(raw)
+			if len(norm) == 0 || seen[norm[0]] {
+				continue
+			}
+			seen[norm[0]] = true
+			if f := ix.Frequency(raw); f > 0 {
+				terms = append(terms, term{raw, f})
+			}
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].freq > terms[j].freq })
+	nfreq := min(4, len(terms))
+	frequent := terms[:nfreq]
+	var rare []term
+	for _, t := range terms[nfreq:] {
+		if t.freq <= max(10, g.NumNodes()/100) {
+			rare = append(rare, t)
+			if len(rare) == 16 {
+				break
+			}
+		}
+	}
+
+	var pool []wikisearch.Query
+	for i := 0; i < 32 && len(frequent) > 0; i++ {
+		words := []string{frequent[rng.Intn(len(frequent))].raw}
+		for n := rng.Intn(3); n > 0 && len(rare) > 0; n-- {
+			words = append(words, rare[rng.Intn(len(rare))].raw)
+		}
+		pool = append(pool, wikisearch.Query{Text: strings.Join(words, " "), TopK: 20, Threads: 1})
+	}
+	return pool
+}
+
+// batchBenchSchedule draws the per-op query indices: a Zipf-distributed
+// stream over the pool, hot queries first. Both sides replay the exact same
+// schedule, so the comparison isolates the execution strategy.
+func batchBenchSchedule(ops, poolSize int, skew float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed + 7))
+	z := rand.NewZipf(rng, skew, 1, uint64(poolSize-1))
+	sched := make([]int, ops)
+	for i := range sched {
+		sched[i] = int(z.Uint64())
+	}
+	return sched
+}
+
+// batchBenchDrive replays the schedule through eng with the given number of
+// closed-loop clients and returns the wall time.
+func batchBenchDrive(eng *wikisearch.Engine, pool []wikisearch.Query, sched []int, clients int) (time.Duration, error) {
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sched) {
+					return
+				}
+				if _, err := eng.Search(context.Background(), pool[sched[i]]); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if p := firstErr.Load(); p != nil {
+		return wall, *p
+	}
+	return wall, nil
+}
+
+// BatchBench measures solo-versus-batched throughput on one engine with an
+// identical concurrent workload.
+func BatchBench(cfg BatchBenchConfig) (*BatchBenchReport, error) {
+	cfg = cfg.Defaults()
+	env, err := NewEnv(Config{Preset: cfg.Preset, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pool := batchBenchWorkload(env.KB, env.Ix, cfg.Seed)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: empty batch workload")
+	}
+
+	// Warm the engine (level cache, pooled states) outside the clock.
+	for _, q := range pool[:min(len(pool), 8)] {
+		if _, err := env.Eng.Search(context.Background(), q); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &BatchBenchReport{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0), Queries: len(pool)}
+	sched := batchBenchSchedule(cfg.Ops, len(pool), cfg.Skew, cfg.Seed)
+
+	// Each side runs twice and the faster pass is kept: the workload is
+	// deterministic, so the slower pass only measures scheduler or machine
+	// interference, not the execution strategy.
+	const passes = 2
+
+	env.Eng.DisableBatching()
+	solo := BatchBenchPoint{Mode: "solo", Ops: cfg.Ops}
+	for pass := 0; pass < passes; pass++ {
+		wall, err := batchBenchDrive(env.Eng, pool, sched, cfg.Clients)
+		if err != nil {
+			return nil, err
+		}
+		if ms := float64(wall) / float64(time.Millisecond); solo.WallMs == 0 || ms < solo.WallMs {
+			solo.WallMs = ms
+			solo.QPS = float64(cfg.Ops) / wall.Seconds()
+		}
+	}
+	rep.Points = append(rep.Points, solo)
+
+	batched := BatchBenchPoint{Mode: "batched", Ops: cfg.Ops}
+	for pass := 0; pass < passes; pass++ {
+		var mu sync.Mutex
+		var batches, soloLaunches, queriesServed, distinctServed int
+		env.Eng.EnableBatching(wikisearch.BatchOptions{
+			Window: cfg.Window,
+			Observer: func(ex wikisearch.BatchExecution) {
+				mu.Lock()
+				batches++
+				queriesServed += ex.Queries
+				distinctServed += ex.Distinct
+				if ex.Solo {
+					soloLaunches++
+				}
+				mu.Unlock()
+			},
+		})
+		wall, err := batchBenchDrive(env.Eng, pool, sched, cfg.Clients)
+		env.Eng.DisableBatching()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if ms := float64(wall) / float64(time.Millisecond); batched.WallMs == 0 || ms < batched.WallMs {
+			batched.WallMs = ms
+			batched.QPS = float64(cfg.Ops) / wall.Seconds()
+			batched.Batches = batches
+			batched.SoloLaunches = soloLaunches
+			batched.AvgOccupancy = 0
+			batched.AvgDistinct = 0
+			if batches > 0 {
+				batched.AvgOccupancy = float64(queriesServed) / float64(batches)
+				batched.AvgDistinct = float64(distinctServed) / float64(batches)
+			}
+		}
+		mu.Unlock()
+	}
+	rep.Points = append(rep.Points, batched)
+	if solo.QPS > 0 {
+		rep.Speedup = batched.QPS / solo.QPS
+	}
+	return rep, nil
+}
+
+// BatchBenchTable renders the report for benchrunner.
+func BatchBenchTable(r *BatchBenchReport) Table {
+	t := Table{
+		ID: "batch",
+		Title: fmt.Sprintf("Shared-frontier batching throughput on %s (%d clients, Tnum=1, window %v, zipf %.2f)",
+			r.Config.Preset, r.Config.Clients, r.Config.Window, r.Config.Skew),
+		Header: []string{"mode", "QPS", "wall ms", "batches", "avg occupancy", "avg distinct", "solo launches"},
+	}
+	for _, p := range r.Points {
+		occ, dis, b, s := "-", "-", "-", "-"
+		if p.Mode == "batched" {
+			occ = fmt.Sprintf("%.2f", p.AvgOccupancy)
+			dis = fmt.Sprintf("%.2f", p.AvgDistinct)
+			b = fmt.Sprintf("%d", p.Batches)
+			s = fmt.Sprintf("%d", p.SoloLaunches)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Mode, fmt.Sprintf("%.0f", p.QPS), fmt.Sprintf("%.1f", p.WallMs), b, occ, dis, s,
+		})
+	}
+	t.Rows = append(t.Rows, []string{"speedup", fmt.Sprintf("%.2fx", r.Speedup), "-", "-", "-", "-", "-"})
+	return t
+}
+
+// WriteBatchBench serializes the report as indented JSON.
+func WriteBatchBench(path string, r *BatchBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -165,7 +166,7 @@ func (e *Env) measure(variant string, queries []string, topk int, alpha float64,
 			default:
 				return r, fmt.Errorf("bench: unknown variant %q", variant)
 			}
-			res, err := e.Eng.Search(wikisearch.Query{
+			res, err := e.Eng.Search(context.Background(), wikisearch.Query{
 				Text: q, TopK: topk, Alpha: alpha, Threads: threads, Variant: v,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,7 +50,7 @@ func (e *Env) Repetition(queryID string, k int) ([]RepetitionStats, error) {
 	}
 	out = append(out, repetitionOf(VBanks, bsets))
 
-	res, err := e.Eng.Search(wikisearch.Query{Text: queryText, TopK: k, Alpha: e.Cfg.Alpha, Threads: e.Cfg.Threads})
+	res, err := e.Eng.Search(context.Background(), wikisearch.Query{Text: queryText, TopK: k, Alpha: e.Cfg.Alpha, Threads: e.Cfg.Threads})
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +164,7 @@ func (e *Env) Effectiveness(alphas []float64, ks []int) ([]Table, []PrecisionCel
 		}
 
 		for _, a := range alphas {
-			res, err := e.Eng.Search(wikisearch.Query{
+			res, err := e.Eng.Search(context.Background(), wikisearch.Query{
 				Text: queryText, TopK: maxK, Alpha: a, Threads: e.Cfg.Threads,
 			})
 			if err != nil {

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+// batchScenario builds one shared random graph with nq independent random
+// queries over it, all deterministic in seed. It returns the batch input
+// plus each member's equivalent solo input and params (identical shared
+// knobs, per-query topK). wide forces q=3 per query so a four-query batch
+// spans more than eight columns and exercises the multi-word row path.
+func batchScenario(t testing.TB, seed int64, nq int, wide bool) (BatchInput, []Input, []Params) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 20 + rng.Intn(60)
+	m := n + rng.Intn(3*n)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []graph.RelID{b.Rel("r0"), b.Rel("r1"), b.Rel("r2")}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(3)])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := make([]uint8, n)
+	weights := make([]float64, n)
+	for i := range levels {
+		levels[i] = uint8(rng.Intn(4))
+		weights[i] = float64(rng.Intn(1024)) / 1024
+	}
+	bin := BatchInput{G: g, Weights: weights, Levels: levels}
+	var solos []Input
+	var params []Params
+	for j := 0; j < nq; j++ {
+		q := 1 + rng.Intn(3)
+		if wide {
+			q = 3
+		}
+		sources := make([][]graph.NodeID, q)
+		terms := make([]string, q)
+		for i := range sources {
+			terms[i] = fmt.Sprintf("q%dt%d", j, i)
+			sz := 1 + rng.Intn(4)
+			seen := map[graph.NodeID]bool{}
+			for len(sources[i]) < sz {
+				v := graph.NodeID(rng.Intn(n))
+				if !seen[v] {
+					seen[v] = true
+					sources[i] = append(sources[i], v)
+				}
+			}
+			sort.Slice(sources[i], func(a, b int) bool { return sources[i][a] < sources[i][b] })
+		}
+		topK := 1 + rng.Intn(8)
+		bin.Queries = append(bin.Queries, BatchQuery{
+			Terms: terms, Sources: sources, TopK: topK, MaxLevel: 16,
+		})
+		solos = append(solos, Input{G: g, Weights: weights, Levels: levels, Terms: terms, Sources: sources})
+		params = append(params, Params{TopK: topK, MaxLevel: 16, Threads: 1})
+	}
+	return bin, solos, params
+}
+
+// soloRefs runs every member of the batch alone and returns the reference
+// results the batched run must reproduce bit-identically.
+func soloRefs(t *testing.T, solos []Input, params []Params) []*Result {
+	t.Helper()
+	refs := make([]*Result, len(solos))
+	for j := range solos {
+		r, err := Search(solos[j], params[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[j] = r
+	}
+	return refs
+}
+
+// TestBatchSoloEquivalence is the batch layer's core property: multiplexing
+// queries through one shared bottom-up expansion returns, for every member,
+// exactly the answers, depth d and central-candidate count its solo search
+// produces — across batch sizes, thread counts and a reused pooled state.
+func TestBatchSoloEquivalence(t *testing.T) {
+	threadCounts := []int{1, runtime.GOMAXPROCS(0)}
+	ss := NewSearchState()
+	defer ss.Close()
+	for seed := int64(400); seed < 436; seed++ {
+		nq := 1 + int(seed-400)%4
+		bin, solos, params := batchScenario(t, seed, nq, false)
+		refs := soloRefs(t, solos, params)
+		for _, threads := range threadCounts {
+			got, err := ss.SearchBatch(bin, Params{Threads: threads, MaxLevel: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != nq {
+				t.Fatalf("seed %d: %d results for %d queries", seed, len(got), nq)
+			}
+			for j := range got {
+				resultsEqual(t, fmt.Sprintf("seed %d T=%d member %d/%d", seed, threads, j, nq), refs[j], got[j])
+			}
+		}
+	}
+}
+
+// TestBatchCompositionInvariance: a query's result must not depend on which
+// other queries share the state or on its column placement — the full batch,
+// the reversed batch and every singleton batch all reproduce the solo runs.
+func TestBatchCompositionInvariance(t *testing.T) {
+	ss := NewSearchState()
+	defer ss.Close()
+	for seed := int64(440); seed < 456; seed++ {
+		nq := 2 + int(seed-440)%3
+		bin, solos, params := batchScenario(t, seed, nq, false)
+		refs := soloRefs(t, solos, params)
+
+		rev := BatchInput{G: bin.G, Weights: bin.Weights, Levels: bin.Levels}
+		for j := nq - 1; j >= 0; j-- {
+			rev.Queries = append(rev.Queries, bin.Queries[j])
+		}
+		got, err := ss.SearchBatch(rev, Params{Threads: 4, MaxLevel: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			resultsEqual(t, fmt.Sprintf("seed %d reversed member %d", seed, j), refs[nq-1-j], got[j])
+		}
+
+		for j := 0; j < nq; j++ {
+			one := BatchInput{G: bin.G, Weights: bin.Weights, Levels: bin.Levels, Queries: bin.Queries[j : j+1]}
+			got, err := ss.SearchBatch(one, Params{Threads: 4, MaxLevel: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, fmt.Sprintf("seed %d singleton %d", seed, j), refs[j], got[0])
+		}
+	}
+}
+
+// TestBatchWideEquivalence covers batches spanning more than eight matrix
+// columns, where neighbor rows take the multi-word MissMask path instead of
+// the single-word MatchFlags fast path.
+func TestBatchWideEquivalence(t *testing.T) {
+	ss := NewSearchState()
+	defer ss.Close()
+	for seed := int64(460); seed < 472; seed++ {
+		bin, solos, params := batchScenario(t, seed, 4, true) // 12 columns
+		refs := soloRefs(t, solos, params)
+		for _, threads := range []int{1, 8} {
+			got, err := ss.SearchBatch(bin, Params{Threads: threads, MaxLevel: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				resultsEqual(t, fmt.Sprintf("seed %d wide T=%d member %d", seed, threads, j), refs[j], got[j])
+			}
+		}
+	}
+}
+
+// TestBatchInputValidate exercises the structural rejections.
+func TestBatchInputValidate(t *testing.T) {
+	bin, _, _ := batchScenario(t, 99, 2, false)
+	check := func(name string, mutate func(b *BatchInput), want string) {
+		t.Helper()
+		bad := bin
+		bad.Queries = append([]BatchQuery(nil), bin.Queries...)
+		mutate(&bad)
+		err := bad.Validate()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want substring %q", name, err, want)
+		}
+	}
+	check("nil graph", func(b *BatchInput) { b.G = nil }, "nil graph")
+	check("bad weights", func(b *BatchInput) { b.Weights = b.Weights[:1] }, "weights/levels")
+	check("no queries", func(b *BatchInput) { b.Queries = nil }, "no queries")
+	check("too many queries", func(b *BatchInput) {
+		for len(b.Queries) <= MaxBatchQueries {
+			b.Queries = append(b.Queries, b.Queries[0])
+		}
+	}, "exceeds batch maximum")
+	check("no keywords", func(b *BatchInput) {
+		b.Queries[0] = BatchQuery{}
+	}, "no keywords")
+	check("terms mismatch", func(b *BatchInput) {
+		q := b.Queries[0]
+		q.Terms = q.Terms[:0]
+		b.Queries[0] = q
+	}, "terms")
+	check("empty source set", func(b *BatchInput) {
+		q := b.Queries[0]
+		q.Sources = append([][]graph.NodeID{nil}, q.Sources...)
+		q.Terms = append([]string{"empty"}, q.Terms...)
+		b.Queries[0] = q
+	}, "matches no nodes")
+	check("node out of range", func(b *BatchInput) {
+		q := b.Queries[0]
+		q.Sources = append([][]graph.NodeID{{graph.NodeID(b.G.NumNodes())}}, q.Sources...)
+		q.Terms = append([]string{"oob"}, q.Terms...)
+		b.Queries[0] = q
+	}, "out of range")
+
+	if err := bin.Validate(); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+// TestBatchCancellation: a fired context aborts the batch between levels and
+// the error surfaces from SearchBatch.
+func TestBatchCancellation(t *testing.T) {
+	bin, _, _ := batchScenario(t, 123, 3, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ss := NewSearchState()
+	defer ss.Close()
+	if _, err := ss.SearchBatch(bin, Params{Threads: 2, MaxLevel: 16, Ctx: ctx}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The state must remain usable after the aborted batch.
+	if _, err := ss.SearchBatch(bin, Params{Threads: 2, MaxLevel: 16}); err != nil {
+		t.Fatalf("state unusable after cancellation: %v", err)
+	}
+}
+
+// TestBatchBottomUpAllocationFree: on a warm pooled state the shared
+// bottom-up stage — batch preparation, owner-group attribution, expansion,
+// identification — must not allocate at all.
+func TestBatchBottomUpAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	bin, _, _ := batchScenario(t, 7, 3, false)
+	p := Params{Threads: 4, MaxLevel: 16}
+	ss := NewSearchState()
+	defer ss.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := ss.SearchBatch(bin, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	allocs := testing.AllocsPerRun(20, func() {
+		err = ss.BottomUpBatch(bin, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm batched bottom-up allocates %v per run", allocs)
+	}
+}

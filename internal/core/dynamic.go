@@ -286,7 +286,7 @@ func (s *dynState) env() *assembleEnv {
 	q := len(s.in.Sources)
 	return &assembleEnv{
 		q:            q,
-		contains:     s.contains,
+		contains:     func(v graph.NodeID) uint64 { return s.contains[v] },
 		weights:      s.in.Weights,
 		lambda:       s.p.Lambda,
 		noLevelCover: s.p.DisableLevelCover,
@@ -304,13 +304,14 @@ func (s *dynState) env() *assembleEnv {
 
 func (s *dynState) topDown() ([]*Answer, error) {
 	env := s.env()
+	td := make([]tdScratch, s.pool.Workers())
 	cands := make([]*candidate, len(s.centrals))
-	s.pool.For(len(s.centrals), func(i int) {
+	s.pool.ForWorker(len(s.centrals), func(w, i int) {
 		if cancelled(s.p) != nil {
 			return
 		}
 		ex := s.recover(s.centrals[i])
-		cands[i] = env.assemble(ex, i)
+		cands[i] = env.assemble(ex, i, &td[w])
 	})
 	if err := cancelled(s.p); err != nil {
 		return nil, err

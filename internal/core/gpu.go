@@ -64,7 +64,7 @@ func SearchGPU(in Input, p Params, dev *device.Device) (*GPUResult, error) {
 		Result: Result{
 			Answers:           answers,
 			DepthD:            d,
-			CentralCandidates: len(s.centrals),
+			CentralCandidates: len(s.groups[0].centrals),
 			Profile:           s.prof,
 		},
 		TransferSeconds: dev.TransferTime(s.m.ByteSize()),
@@ -127,20 +127,20 @@ func (s *gpuState) enqueueFrontiersGPU() {
 
 // identifyCentralsGPU is a flat kernel over frontiers.
 func (s *gpuState) identifyCentralsGPU() {
+	gr := &s.groups[0]
 	lvl := int32(s.level)
 	s.dev.Launch1D(len(s.frontier), func(i int) {
 		v := graph.NodeID(s.frontier[i])
-		if s.cid.Get(int(v)) {
+		if gr.centralAt[v] >= 0 {
 			return
 		}
 		if s.m.AllHit(v) {
-			s.cid.Set(int(v))
-			s.centralAt[v] = lvl
+			gr.centralAt[v] = lvl
 		}
 	})
 	for _, f := range s.frontier {
-		if s.centralAt[f] == lvl {
-			s.centrals = append(s.centrals, graph.NodeID(f))
+		if gr.centralAt[f] == lvl {
+			gr.centrals = append(gr.centrals, graph.NodeID(f))
 		}
 	}
 }
@@ -154,11 +154,12 @@ func (s *gpuState) expandGPU() {
 	if ws <= 0 {
 		ws = 32
 	}
+	centralAt := s.groups[0].centralAt
 	warps := len(s.frontier) * q
 	s.dev.Launch(warps, func(w, lane int) {
 		vf := graph.NodeID(s.frontier[w/q])
 		i := w % q
-		if s.cid.Get(int(vf)) {
+		if centralAt[vf] >= 0 {
 			return
 		}
 		af := int(s.in.Levels[vf])
@@ -203,7 +204,7 @@ func (s *gpuState) bottomUpGPU() (int, error) {
 		s.identifyCentralsGPU()
 		s.prof.Phases[PhaseIdentify] += time.Since(t0)
 		s.prof.Levels++
-		if len(s.centrals) >= k {
+		if len(s.groups[0].centrals) >= k {
 			break
 		}
 		if s.level >= s.p.MaxLevel {

@@ -2,14 +2,14 @@ package core
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"wikisearch/internal/graph"
 )
 
 // levelCover applies the keyword-co-occurrence level-cover strategy (§V-C)
 // to an extracted Central Graph and returns the kept nodes in extraction
-// order.
+// order. The returned slice lives in sc and is valid until sc's next use.
 //
 // Keyword nodes are classified into levels by the number of query keywords
 // they contain; the Central Node is always at the top. Walking levels from
@@ -21,30 +21,33 @@ import (
 // are pruned. Finally the hitting paths that served only pruned keyword
 // nodes are dropped: a path node survives iff it is reachable from a kept
 // keyword node (or is the Central Node or on a kept node's downstream path).
-func (env *assembleEnv) levelCover(ex *extraction) []graph.NodeID {
+func (env *assembleEnv) levelCover(ex *extraction, sc *tdScratch) []graph.NodeID {
 	all := allMask(env.q)
 
 	// Classify keyword nodes (nodes containing ≥1 query keyword) by
 	// containment count. The central node seeds coverage unconditionally.
-	covered := env.contains[ex.central]
-	type kwNode struct {
-		v    graph.NodeID
-		mask uint64
-	}
-	var kws []kwNode
+	covered := env.contains(ex.central)
+	kws := sc.kws[:0]
 	for _, v := range ex.order {
 		if v == ex.central {
 			continue
 		}
-		if m := env.contains[v]; m != 0 {
+		if m := env.contains(v); m != 0 {
 			kws = append(kws, kwNode{v, m})
 		}
 	}
-	sort.SliceStable(kws, func(i, j int) bool {
-		return bits.OnesCount64(kws[i].mask) > bits.OnesCount64(kws[j].mask)
+	sc.kws = kws
+	slices.SortStableFunc(kws, func(a, b kwNode) int {
+		return bits.OnesCount64(b.mask) - bits.OnesCount64(a.mask)
 	})
 
-	keptKw := map[graph.NodeID]struct{}{}
+	keptKw := sc.keptKw
+	if keptKw == nil {
+		keptKw = map[graph.NodeID]struct{}{}
+		sc.keptKw = keptKw
+	} else {
+		clear(keptKw)
+	}
 	for lo := 0; lo < len(kws); {
 		cnt := bits.OnesCount64(kws[lo].mask)
 		hi := lo
@@ -67,35 +70,43 @@ func (env *assembleEnv) levelCover(ex *extraction) []graph.NodeID {
 
 	// Keep path nodes reachable from kept keyword nodes (and the central
 	// node) along expansion edges — everything else served only pruned
-	// keyword nodes.
-	kept := map[graph.NodeID]struct{}{ex.central: {}}
+	// keyword nodes. Extractions are small, so the BFS rescans the edge
+	// list per popped node instead of building an adjacency map.
+	kept := sc.kept
+	if kept == nil {
+		kept = map[graph.NodeID]struct{}{}
+		sc.kept = kept
+	} else {
+		clear(kept)
+	}
+	kept[ex.central] = struct{}{}
+	queue := append(sc.covOut[:0], ex.central)
 	for v := range keptKw {
-		kept[v] = struct{}{}
-	}
-	adj := map[graph.NodeID][]graph.NodeID{}
-	for _, e := range ex.edges {
-		adj[e.From] = append(adj[e.From], e.To)
-	}
-	queue := make([]graph.NodeID, 0, len(kept))
-	for v := range kept {
-		queue = append(queue, v)
+		if _, ok := kept[v]; !ok {
+			kept[v] = struct{}{}
+			queue = append(queue, v)
+		}
 	}
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, w := range adj[v] {
-			if _, ok := kept[w]; !ok {
-				kept[w] = struct{}{}
-				queue = append(queue, w)
+		for _, e := range ex.edges {
+			if e.From != v {
+				continue
+			}
+			if _, ok := kept[e.To]; !ok {
+				kept[e.To] = struct{}{}
+				queue = append(queue, e.To)
 			}
 		}
 	}
 
-	out := make([]graph.NodeID, 0, len(kept))
+	out := queue[:0] // reuse the drained queue's backing array
 	for _, v := range ex.order {
 		if _, ok := kept[v]; ok {
 			out = append(out, v)
 		}
 	}
+	sc.covOut = out
 	return out
 }

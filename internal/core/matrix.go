@@ -79,6 +79,17 @@ func (m *Matrix) MarkHit(v graph.NodeID, j int, level uint8) {
 	m.cells.SetMonotone(int(v)*m.stride+j, level)
 }
 
+// MarkHitsWord stores level into every column of node v named by colMask
+// (bit j → column j) with one atomic AND — the whole visit of a neighbor,
+// across all multiplexed queries, in a single operation. Valid only under
+// MarkHit's ∞ → level precondition and only when the row fits one word
+// (q ≤ 8, i.e. WordsPerRow() == 1).
+//
+//wikisearch:hotpath
+func (m *Matrix) MarkHitsWord(v graph.NodeID, colMask uint64, level uint8) {
+	m.cells.SetMonotoneFlags(int(v), colMask, level)
+}
+
 // Hit reports whether node v has been hit by BFS instance j.
 //
 //wikisearch:hotpath
@@ -115,6 +126,14 @@ func (m *Matrix) MaxHit(v graph.NodeID) (uint8, bool) {
 //wikisearch:hotpath
 func (m *Matrix) Row(v graph.NodeID, dst []uint8) {
 	m.cells.LoadRow(int(v)*m.stride, dst)
+}
+
+// RowSlice copies node v's hitting levels for columns [off, off+len(dst))
+// into dst — the column-group view a batched query's top-down stage reads.
+//
+//wikisearch:hotpath
+func (m *Matrix) RowSlice(v graph.NodeID, off int, dst []uint8) {
+	m.cells.LoadRow(int(v)*m.stride+off, dst)
 }
 
 // MissMask returns a bitmask with bit j set iff node v has not been hit by

@@ -156,17 +156,17 @@ func TestModelCrossCheck(t *testing.T) {
 			t.Fatalf("seed %d: d = %d, model d = %d", seed, d, md)
 		}
 		// Central sets and identification levels agree.
-		if len(s.centrals) != len(model.centrals) {
+		if len(s.groups[0].centrals) != len(model.centrals) {
 			t.Fatalf("seed %d: %d centrals vs model %d (%v vs %v)",
-				seed, len(s.centrals), len(model.centrals), s.centrals, model.centrals)
+				seed, len(s.groups[0].centrals), len(model.centrals), s.groups[0].centrals, model.centrals)
 		}
-		for _, v := range s.centrals {
+		for _, v := range s.groups[0].centrals {
 			ml, ok := model.central[v]
 			if !ok {
 				t.Fatalf("seed %d: central %d not in model", seed, v)
 			}
-			if int(s.centralAt[v]) != ml {
-				t.Fatalf("seed %d: central %d at level %d, model %d", seed, v, s.centralAt[v], ml)
+			if int(s.groups[0].centralAt[v]) != ml {
+				t.Fatalf("seed %d: central %d at level %d, model %d", seed, v, s.groups[0].centralAt[v], ml)
 			}
 		}
 		// Hitting levels agree everywhere the model ran: the real search

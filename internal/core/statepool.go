@@ -93,7 +93,7 @@ func (ss *SearchState) Search(in Input, p Params) (*Result, error) {
 	res := &Result{
 		Answers:           answers,
 		DepthD:            d,
-		CentralCandidates: len(s.centrals),
+		CentralCandidates: len(s.groups[0].centrals),
 		Profile:           s.prof,
 	}
 	// Drop the query's input references so a pooled state does not pin the

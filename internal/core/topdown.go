@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"wikisearch/internal/graph"
 )
@@ -9,7 +9,8 @@ import (
 // extraction is one Central Graph being recovered from the node-keyword
 // matrix (Algorithm 3). Nodes carry the mask of keywords whose hitting
 // paths traverse them; edges are expansion steps (parent → child, flowing
-// keyword sources → Central Node).
+// keyword sources → Central Node). All keyword masks are local to the
+// owning query's column group: bit i means group column off+i.
 type extraction struct {
 	central   graph.NodeID
 	depth     int
@@ -18,6 +19,23 @@ type extraction struct {
 	edges     []AnswerEdge            // deduplicated expansion steps
 	edgeIndex map[edgeKey]int         // dedup: (from,to,rel,forward) → edges index
 	truncated bool                    // hit the MaxGraphNodes cap
+}
+
+// reset prepares ex for a new Central Graph, reusing its maps and slices.
+func (ex *extraction) reset(central graph.NodeID, local uint64) {
+	ex.central = central
+	ex.depth = 0
+	ex.truncated = false
+	ex.order = append(ex.order[:0], central)
+	ex.edges = ex.edges[:0]
+	if ex.onPaths == nil {
+		ex.onPaths = map[graph.NodeID]uint64{}
+		ex.edgeIndex = map[edgeKey]int{}
+	} else {
+		clear(ex.onPaths)
+		clear(ex.edgeIndex)
+	}
+	ex.onPaths[central] = local
 }
 
 type edgeKey struct {
@@ -32,39 +50,64 @@ type workItem struct {
 	bits uint64
 }
 
-// extract recovers the Central Graph centered at vc using the hitting-level
+// kwNode is a keyword node with its containment mask, the unit the
+// level-cover strategy classifies.
+type kwNode struct {
+	v    graph.NodeID
+	mask uint64
+}
+
+// tdScratch is one worker's reusable top-down buffers: everything the
+// extraction and assembly of a Central Graph touches that does not escape
+// into the returned Answer. A state keeps one per worker so a warm
+// top-down stage only allocates what the caller keeps (the answers
+// themselves).
+type tdScratch struct {
+	ex     extraction
+	work   []workItem
+	kws    []kwNode                  // levelCover: keyword nodes by containment
+	keptKw map[graph.NodeID]struct{} // levelCover: surviving keyword nodes
+	kept   map[graph.NodeID]struct{} // levelCover: surviving nodes
+	covOut []graph.NodeID            // levelCover: kept nodes, extraction order
+	rowBuf []uint8                   // assemble: one row before it is kept
+}
+
+// extract recovers gr's Central Graph centered at vc using the hitting-level
 // heuristics of Theorem V.4: vn is a parent of vf on keyword i's hitting
 // path iff h_i(vf) = 1 + max(a_n, h_i(vn)) when vf contains keywords, or
 // 1 + max(a_n, h_i(vn), a_f − 1) when it does not. All qualifying parents
-// are collected, which is what yields multi-path answers.
-func (s *state) extract(vc graph.NodeID) *extraction {
-	q := s.m.Q()
-	ex := &extraction{
-		central:   vc,
-		onPaths:   map[graph.NodeID]uint64{vc: allMask(q)},
-		order:     []graph.NodeID{vc},
-		edgeIndex: map[edgeKey]int{},
+// are collected, which is what yields multi-path answers. Every matrix read
+// and keyword test is confined to the group's column window, so extraction
+// from a batched state is identical to the query's solo extraction. The
+// returned extraction lives in sc and is valid until sc's next use.
+func (s *state) extract(sc *tdScratch, gr *group, vc graph.NodeID) *extraction {
+	q := gr.q
+	off := gr.off
+	local := allMask(q)
+	ex := &sc.ex
+	ex.reset(vc, local)
+	for i := 0; i < q; i++ {
+		if h := s.m.Get(vc, off+i); h != Infinity && int(h) > ex.depth {
+			ex.depth = int(h) // d(C), Eq. 1: the largest hitting level
+		}
 	}
-	if d, ok := s.m.MaxHit(vc); ok {
-		ex.depth = int(d)
-	}
-	work := []workItem{{vc, allMask(q)}}
+	work := append(sc.work[:0], workItem{vc, local})
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 		vf := it.node
 		af := int(s.in.Levels[vf])
-		fHasKeywords := s.contains[vf] != 0
+		fHasKeywords := s.contains[vf]&gr.mask != 0
 		for i := 0; i < q; i++ {
 			if it.bits&(1<<uint(i)) == 0 {
 				continue
 			}
-			hif := int(s.m.Get(vf, i))
+			hif := int(s.m.Get(vf, off+i))
 			if hif == 0 {
 				continue // keyword source: hitting paths for i start here
 			}
 			s.in.G.ForEachNeighbor(vf, func(vn graph.NodeID, rel graph.RelID, out bool) {
-				hin := s.m.Get(vn, i)
+				hin := s.m.Get(vn, off+i)
 				if hin == Infinity {
 					return
 				}
@@ -80,7 +123,7 @@ func (s *state) extract(vc graph.NodeID) *extraction {
 				// became unavailable for expansion (§III-B), so it cannot
 				// have been a real parent; without this filter extraction
 				// could claim paths the search never traversed.
-				if ca := s.centralAt[vn]; ca >= 0 && int(ca) <= hif-1 {
+				if ca := gr.centralAt[vn]; ca >= 0 && int(ca) <= hif-1 {
 					return
 				}
 				ex.addEdge(vn, vf, rel, !out, uint64(1)<<uint(i))
@@ -101,6 +144,7 @@ func (s *state) extract(vc graph.NodeID) *extraction {
 			})
 		}
 	}
+	sc.work = work[:0] // keep the grown capacity
 	return ex
 }
 
@@ -127,47 +171,54 @@ type candidate struct {
 
 // assembleEnv carries the per-query context the top-down stage needs to
 // prune and score an extracted Central Graph. Both the matrix-based and the
-// dynamic (lock-based) variants assemble answers through it.
+// dynamic (lock-based) variants assemble answers through it; contains and
+// row present the query's own column window, so a batched group assembles
+// exactly as its solo search would.
 type assembleEnv struct {
 	q            int
-	contains     []uint64
+	contains     func(v graph.NodeID) uint64 // query-local keyword mask
 	weights      []float64
 	lambda       float64
 	row          func(v graph.NodeID, dst []uint8) // hitting levels of v
 	noLevelCover bool
 }
 
-func (s *state) env() *assembleEnv {
+// envGroup builds gr's assembly context over the shared state.
+func (s *state) envGroup(gr *group) *assembleEnv {
+	off := uint(gr.off)
+	local := allMask(gr.q)
 	return &assembleEnv{
-		q:            s.m.Q(),
-		contains:     s.contains,
+		q:            gr.q,
+		contains:     func(v graph.NodeID) uint64 { return (s.contains[v] >> off) & local },
 		weights:      s.in.Weights,
 		lambda:       s.p.Lambda,
-		row:          s.m.Row,
-		noLevelCover: s.p.DisableLevelCover,
+		row:          func(v graph.NodeID, dst []uint8) { s.m.RowSlice(v, gr.off, dst) },
+		noLevelCover: gr.noLevelCover,
 	}
 }
 
 // assemble applies the level-cover strategy to an extraction and builds the
-// scored Answer.
-func (env *assembleEnv) assemble(ex *extraction, rank int) *candidate {
+// scored Answer. Only the answer and its node set are freshly allocated;
+// everything transient lives in sc.
+func (env *assembleEnv) assemble(ex *extraction, rank int, sc *tdScratch) *candidate {
 	kept := ex.order
 	if !env.noLevelCover {
-		kept = env.levelCover(ex)
+		kept = env.levelCover(ex, sc)
 	}
+	q := env.q
 	var (
-		nodes  []AnswerNode
+		nodes  = make([]AnswerNode, 0, len(kept))
+		rows   = make([]uint8, len(kept)*q) // one backing array for all rows
 		sumW   float64
 		ids    = make(map[graph.NodeID]struct{}, len(kept))
 		pruned = len(ex.order) - len(kept)
 	)
-	q := env.q
-	for _, v := range kept {
-		row := make([]uint8, q)
+	for ki, v := range kept {
+		row := rows[ki*q : (ki+1)*q : (ki+1)*q]
 		env.row(v, row)
 		nodes = append(nodes, AnswerNode{
 			ID:        v,
-			Contains:  env.contains[v],
+			Contains:  env.contains(v),
 			OnPaths:   ex.onPaths[v],
 			HitLevels: row,
 		})
@@ -176,19 +227,24 @@ func (env *assembleEnv) assemble(ex *extraction, rank int) *candidate {
 	// Canonical order — central node first, then ascending id; edges by
 	// (From, To, Rel) — so answers are identical regardless of thread count
 	// or scheduling.
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].ID == ex.central {
-			return nodes[j].ID != ex.central
+	central := ex.central
+	slices.SortFunc(nodes, func(a, b AnswerNode) int {
+		switch {
+		case a.ID == b.ID:
+			return 0
+		case a.ID == central:
+			return -1
+		case b.ID == central:
+			return 1
+		case a.ID < b.ID:
+			return -1
 		}
-		if nodes[j].ID == ex.central {
-			return false
-		}
-		return nodes[i].ID < nodes[j].ID
+		return 1
 	})
 	for _, n := range nodes {
 		sumW += env.weights[n.ID] // summed in canonical order: bit-stable
 	}
-	var edges []AnswerEdge
+	edges := make([]AnswerEdge, 0, len(ex.edges))
 	for _, e := range ex.edges {
 		if _, ok := ids[e.From]; !ok {
 			continue
@@ -198,18 +254,29 @@ func (env *assembleEnv) assemble(ex *extraction, rank int) *candidate {
 		}
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		if a.From != b.From {
-			return a.From < b.From
+	slices.SortFunc(edges, func(a, b AnswerEdge) int {
+		switch {
+		case a.From != b.From:
+			if a.From < b.From {
+				return -1
+			}
+			return 1
+		case a.To != b.To:
+			if a.To < b.To {
+				return -1
+			}
+			return 1
+		case a.Rel != b.Rel:
+			if a.Rel < b.Rel {
+				return -1
+			}
+			return 1
+		case a.Forward == b.Forward:
+			return 0
+		case a.Forward:
+			return -1
 		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		if a.Rel != b.Rel {
-			return a.Rel < b.Rel
-		}
-		return a.Forward && !b.Forward
+		return 1
 	})
 	a := &Answer{
 		Central:     ex.central,
@@ -227,25 +294,37 @@ func (env *assembleEnv) assemble(ex *extraction, rank int) *candidate {
 	}
 }
 
-// topDown runs stage two of Algorithm 1: extract, prune and rank every
-// Central Graph found by the bottom-up stage, then select the final top-k.
-// Extraction and pruning of different Central Graphs run in parallel with
-// dynamic scheduling ("we let one thread recover one or more Central
-// Graphs", §V-C).
+// topDown runs stage two of Algorithm 1 for a solo search.
 func (s *state) topDown() ([]*Answer, error) {
-	env := s.env()
-	cands := make([]*candidate, len(s.centrals))
-	s.pool.For(len(s.centrals), func(i int) {
+	return s.topDownGroup(&s.groups[0])
+}
+
+// topDownGroup runs stage two of Algorithm 1 for one query's column group:
+// extract, prune and rank every Central Graph its bottom-up stage found,
+// then select the final top-k. Extraction and pruning of different Central
+// Graphs run in parallel with dynamic scheduling ("we let one thread
+// recover one or more Central Graphs", §V-C), each worker on its own
+// retained scratch.
+func (s *state) topDownGroup(gr *group) ([]*Answer, error) {
+	env := s.envGroup(gr)
+	if w := s.pool.Workers(); cap(s.td) < w {
+		s.td = make([]tdScratch, w)
+	} else {
+		s.td = s.td[:w]
+	}
+	cands := make([]*candidate, len(gr.centrals))
+	s.pool.ForWorker(len(gr.centrals), func(w, i int) {
 		if cancelled(s.p) != nil {
 			return // drained quickly; the nil candidate is dropped below
 		}
-		ex := s.extract(s.centrals[i])
-		cands[i] = env.assemble(ex, i)
+		sc := &s.td[w]
+		ex := s.extract(sc, gr, gr.centrals[i])
+		cands[i] = env.assemble(ex, i, sc)
 	})
 	if err := cancelled(s.p); err != nil {
 		return nil, err
 	}
-	return selectTopK(cands, s.p.TopK), nil
+	return selectTopK(cands, gr.topK), nil
 }
 
 // selectTopK ranks candidates by score and drops (a) candidates that do not
@@ -260,15 +339,17 @@ func selectTopK(cands []*candidate, k int) []*Answer {
 			ordered = append(ordered, c)
 		}
 	}
-	sort.Slice(ordered, func(i, j int) bool {
-		a, b := ordered[i], ordered[j]
-		if a.answer.Score != b.answer.Score {
-			return a.answer.Score < b.answer.Score
+	slices.SortFunc(ordered, func(a, b *candidate) int {
+		switch {
+		case a.answer.Score != b.answer.Score:
+			if a.answer.Score < b.answer.Score {
+				return -1
+			}
+			return 1
+		case a.answer.Depth != b.answer.Depth:
+			return a.answer.Depth - b.answer.Depth
 		}
-		if a.answer.Depth != b.answer.Depth {
-			return a.answer.Depth < b.answer.Depth
-		}
-		return a.rank < b.rank
+		return a.rank - b.rank
 	})
 	var out []*Answer
 	var keptSets []map[graph.NodeID]struct{}

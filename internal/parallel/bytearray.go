@@ -79,6 +79,26 @@ func (a *ByteArray) Set(i int, v byte) {
 	}
 }
 
+// Or atomically ORs v into cell i without disturbing neighbors — a single
+// atomic OR, no CAS loop. The batch kernel uses it to attribute a frontier
+// node to the queries that reached it: each query's bit is set at most once
+// per level and concurrent ORs of different bits commute.
+//
+//wikisearch:hotpath
+func (a *ByteArray) Or(i int, v byte) {
+	shift := uint(i&7) * 8
+	atomic.OrUint64(&a.data[i>>3], uint64(v)<<shift)
+}
+
+// ClearByte atomically resets cell i to zero with a single atomic AND. The
+// sequential frontier drain uses it to consume a node's owner-group byte.
+//
+//wikisearch:hotpath
+func (a *ByteArray) ClearByte(i int) {
+	shift := uint(i&7) * 8
+	atomic.AndUint64(&a.data[i>>3], ^(uint64(0xFF) << shift))
+}
+
 // SetMonotone stores v into cell i with a single atomic AND instead of a CAS
 // loop. It requires that the cell's current value has every bit of v set —
 // which holds for the search's only write, the one-shot ∞ (0xFF) → level
@@ -89,6 +109,35 @@ func (a *ByteArray) Set(i int, v byte) {
 func (a *ByteArray) SetMonotone(i int, v byte) {
 	shift := uint(i&7) * 8
 	atomic.AndUint64(&a.data[i>>3], uint64(v)<<shift|^(uint64(0xFF)<<shift))
+}
+
+// SpreadFlags expands a low-8-bit flag mask into its byte mask: bit k set →
+// byte k = 0xFF, the inverse direction of compressFlags. Pure SWAR, no
+// branches or tables.
+//
+//wikisearch:hotpath
+func SpreadFlags(flags uint64) uint64 {
+	// Replicate the 8 flag bits into every byte, then isolate bit k in
+	// byte k, so byte k ∈ {0, 1<<k}.
+	m := (flags & 0xFF) * lowBytes & 0x8040201008040201
+	// 0x80 - m_k borrows nothing across bytes (m_k ≤ 0x80) and leaves bit 7
+	// set exactly when m_k == 0; collapse that to a 0/1 byte and invert.
+	z := ((broadcast(0x80) - m) >> 7) & lowBytes // byte k = 1 iff flag k clear
+	return (lowBytes - z) * 0xFF                 // byte k = 0xFF iff flag k set
+}
+
+// SetMonotoneFlags is SetMonotone for several cells of one word at once:
+// it stores v into every byte of word wi selected by flags (bit k → byte k)
+// with a single atomic AND. Each selected cell must satisfy SetMonotone's
+// precondition (current value has every bit of v set); unselected cells are
+// untouched. The expansion kernel uses it to commit a whole visit — all
+// not-yet-hit columns of a neighbor, across every multiplexed query — in
+// one atomic operation.
+//
+//wikisearch:hotpath
+func (a *ByteArray) SetMonotoneFlags(wi int, flags uint64, v byte) {
+	bm := SpreadFlags(flags)
+	atomic.AndUint64(&a.data[wi], broadcast(v)&bm|^bm)
 }
 
 // Fill resets every cell to v. Requires exclusive access.

@@ -57,7 +57,11 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				s.met.panics.Inc()
 				s.log.Printf("server: req=%d panic: %v\n%s", id, rec, debug.Stack())
 				if sw.code == 0 {
-					http.Error(sw, "internal server error", http.StatusInternalServerError)
+					if isV1(r) {
+						s.v1Error(sw, http.StatusInternalServerError, "internal", "internal server error")
+					} else {
+						http.Error(sw, "internal server error", http.StatusInternalServerError)
+					}
 				}
 			}
 			code := sw.code
@@ -98,7 +102,11 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 		default:
 			s.met.limited.Inc()
 			w.Header().Set("Retry-After", "1")
-			s.error(w, http.StatusServiceUnavailable, "server at capacity, retry shortly")
+			if isV1(r) {
+				s.v1Error(w, http.StatusServiceUnavailable, "overloaded", "server at capacity, retry shortly")
+			} else {
+				s.error(w, http.StatusServiceUnavailable, "server at capacity, retry shortly")
+			}
 		}
 	})
 }

@@ -7,11 +7,26 @@
 //
 // Endpoints:
 //
-//	GET /search?q=<keywords>&k=20&alpha=0.1&lambda=0.2&variant=cpu   JSON answers
-//	GET /stats                                                       dataset statistics
-//	GET /metrics                                                     Prometheus text metrics
-//	GET /healthz                                                     liveness
-//	GET /                                                            minimal HTML page
+//	GET /v1/search?q=<keywords>&k=20&alpha=0.1&lambda=0.2&variant=cpu  versioned JSON envelope
+//	GET /v1/stats                                                      dataset statistics (envelope)
+//	GET /search                                                        legacy answers payload (deprecated)
+//	GET /stats                                                         legacy statistics (deprecated)
+//	GET /metrics                                                       Prometheus text metrics
+//	GET /healthz                                                       liveness
+//	GET /                                                              minimal HTML page
+//
+// The /v1 endpoints answer with one stable envelope — {"results": …,
+// "stats": …} on success, {"error": {"code", "message"}} on failure —
+// with consistent status codes: 400 bad_request (malformed parameters),
+// 422 unprocessable (well-formed query the engine cannot answer),
+// 503 overloaded (admission control), 504 timeout (deadline overrun),
+// 500 internal (recovered panic). The unversioned routes predate the
+// envelope, keep their original payloads for existing clients, and are
+// deprecated in favor of /v1.
+//
+// Concurrent searches that agree on the expansion-shaping knobs are
+// coalesced into one shared bottom-up expansion (Config.BatchWindow);
+// batch occupancy and coalescing latency are exported at /metrics.
 package server
 
 import (
@@ -42,6 +57,15 @@ type Config struct {
 	// CacheSize bounds the query-result LRU in entries (default 256;
 	// negative disables caching).
 	CacheSize int
+	// BatchWindow is the coalescing window for shared-frontier query
+	// batching: concurrent compatible searches admitted within the window
+	// share one bottom-up expansion (default: the engine's 200µs; negative
+	// disables batching). Results are identical either way; only the
+	// latency/throughput trade moves. See DESIGN.md §9 for tuning.
+	BatchWindow time.Duration
+	// BatchColumns caps the total keyword columns of one batch (default 8,
+	// the engine's word-wide fast path).
+	BatchColumns int
 	// Logger receives access log lines and panics (default log.Default()).
 	Logger *log.Logger
 }
@@ -80,7 +104,9 @@ type Server struct {
 func New(eng *wikisearch.Engine) *Server { return NewWithConfig(eng, Config{}) }
 
 // NewWithConfig builds a Server over the engine. It installs a search
-// observer on the engine that feeds the per-phase latency histograms.
+// observer on the engine that feeds the per-phase latency histograms and,
+// unless cfg.BatchWindow is negative, enables shared-frontier query
+// batching with an observer that feeds the batch metrics.
 func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -97,6 +123,15 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	eng.SetSearchObserver(s.met.observeSearch)
+	if cfg.BatchWindow >= 0 {
+		eng.EnableBatching(wikisearch.BatchOptions{
+			Window:     cfg.BatchWindow,
+			MaxColumns: cfg.BatchColumns,
+			Observer:   s.met.observeBatch,
+		})
+	}
+	s.mux.Handle("GET /v1/search", s.instrument(http.HandlerFunc(s.handleV1Search), true))
+	s.mux.Handle("GET /v1/stats", s.instrument(http.HandlerFunc(s.handleV1Stats), false))
 	s.mux.Handle("GET /search", s.instrument(http.HandlerFunc(s.handleSearch), true))
 	s.mux.Handle("GET /{$}", s.instrument(http.HandlerFunc(s.handleIndex), true))
 	s.mux.Handle("GET /stats", s.instrument(http.HandlerFunc(s.handleStats), false))
@@ -164,6 +199,38 @@ type StatsResponse struct {
 	Vocabulary  int     `json:"vocabulary"`
 }
 
+// V1Error is the error block of every /v1 envelope. Code is a stable
+// machine-readable token (bad_request, unprocessable, timeout, overloaded,
+// internal); Message is for humans and may change.
+type V1Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// V1SearchStats is the stats block of the /v1/search envelope.
+type V1SearchStats struct {
+	Query      string   `json:"query"`
+	Terms      []string `json:"terms"`
+	Depth      int      `json:"depth"`
+	Candidates int      `json:"candidates"`
+	TotalMs    float64  `json:"total_ms"`
+	Cached     bool     `json:"cached"`
+}
+
+// V1SearchResponse is the /v1/search envelope: results and stats on
+// success, error on failure — never both.
+type V1SearchResponse struct {
+	Results []AnswerPayload `json:"results,omitempty"`
+	Stats   *V1SearchStats  `json:"stats,omitempty"`
+	Error   *V1Error        `json:"error,omitempty"`
+}
+
+// V1StatsResponse is the /v1/stats envelope.
+type V1StatsResponse struct {
+	Stats *StatsResponse `json:"stats,omitempty"`
+	Error *V1Error       `json:"error,omitempty"`
+}
+
 // search runs one query through the cache (when enabled): repeated
 // identical queries are served from the LRU, and concurrent identical
 // queries share a single engine search.
@@ -173,11 +240,11 @@ func (s *Server) search(ctx context.Context, q wikisearch.Query) (res *wikisearc
 		key, ok = cacheKeyFor(q)
 	}
 	if !ok {
-		res, err = s.eng.SearchContext(ctx, q)
+		res, err = s.eng.Search(ctx, q)
 		return res, false, err
 	}
 	res, hit, err = s.cache.do(ctx, key, func() (*wikisearch.Result, error) {
-		return s.eng.SearchContext(ctx, q)
+		return s.eng.Search(ctx, q)
 	})
 	if hit {
 		s.met.cacheHits.Inc()
@@ -187,38 +254,28 @@ func (s *Server) search(ctx context.Context, q wikisearch.Query) (res *wikisearc
 	return res, hit, err
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		s.error(w, http.StatusBadRequest, "missing q parameter")
-		return
+// parseSearchQuery builds a Query from the request's parameters, shared by
+// the legacy /search and the /v1/search handlers. The returned message is
+// empty on success and the client-facing description of the first problem
+// otherwise (always a 400). Type errors keep their dedicated messages;
+// range checks delegate to Query.Validate so the HTTP layer and the Go API
+// can never drift apart on what a legal query is.
+func parseSearchQuery(r *http.Request) (wikisearch.Query, string) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		return wikisearch.Query{}, "missing q parameter"
 	}
 	k, err := intParam(r, "k", 20)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "k must be an integer")
-		return
-	}
-	if k < 1 || k > 200 {
-		s.error(w, http.StatusBadRequest, "k must be in [1,200]")
-		return
+		return wikisearch.Query{}, "k must be an integer"
 	}
 	alpha, err := floatParam(r, "alpha", 0.1)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "alpha must be a number")
-		return
-	}
-	if alpha <= 0 || alpha >= 1 {
-		s.error(w, http.StatusBadRequest, "alpha must be in (0,1)")
-		return
+		return wikisearch.Query{}, "alpha must be a number"
 	}
 	lambda, err := floatParam(r, "lambda", 0.2)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "lambda must be a number")
-		return
-	}
-	if lambda <= 0 || lambda > 1 {
-		s.error(w, http.StatusBadRequest, "lambda must be in (0,1]")
-		return
+		return wikisearch.Query{}, "lambda must be a number"
 	}
 	variant := wikisearch.CPUPar
 	switch r.URL.Query().Get("variant") {
@@ -230,29 +287,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case "seq":
 		variant = wikisearch.Sequential
 	default:
-		s.error(w, http.StatusBadRequest, "variant must be cpu, cpu-d, gpu or seq")
-		return
+		return wikisearch.Query{}, "variant must be cpu, cpu-d, gpu or seq"
 	}
-	res, hit, err := s.search(r.Context(), wikisearch.Query{
-		Text: q, TopK: k, Alpha: alpha, Lambda: lambda, Variant: variant,
-	})
-	if err != nil {
-		s.searchError(w, err)
-		return
+	// Zero means "engine default" to Query.Validate; the HTTP contract is
+	// stricter — an explicit 0 is out of range.
+	switch {
+	case k == 0:
+		return wikisearch.Query{}, "k must be in [1,200]"
+	case alpha == 0:
+		return wikisearch.Query{}, "alpha must be in (0,1)"
+	case lambda == 0:
+		return wikisearch.Query{}, "lambda must be in (0,1]"
 	}
-	if hit {
-		w.Header().Set("X-Cache", "HIT")
-	} else {
-		w.Header().Set("X-Cache", "MISS")
+	q := wikisearch.Query{Text: text, TopK: k, Alpha: alpha, Lambda: lambda, Variant: variant}
+	if err := q.Validate(); err != nil {
+		return wikisearch.Query{}, strings.TrimPrefix(err.Error(), "wikisearch: ")
 	}
-	resp := SearchResponse{
-		Query:      q,
-		Terms:      res.Terms,
-		Depth:      res.Depth,
-		Candidates: res.Candidates,
-		TotalMs:    float64(res.Total) / float64(time.Millisecond),
-		Cached:     hit,
-	}
+	return q, ""
+}
+
+// answerPayloads converts a result's answer graphs to their JSON form,
+// shared by the legacy and the /v1 search payloads.
+func answerPayloads(res *wikisearch.Result) []AnswerPayload {
+	var out []AnswerPayload
 	for i := range res.Answers {
 		a := &res.Answers[i]
 		ap := AnswerPayload{Central: a.CentralLabel, Score: a.Score, Depth: a.Depth}
@@ -264,12 +321,92 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		for _, e := range a.Edges {
 			ap.Edges = append(ap.Edges, EdgePayload{From: e.From, To: e.To, Rel: e.Rel})
 		}
-		resp.Answers = append(resp.Answers, ap)
+		out = append(out, ap)
 	}
-	s.json(w, http.StatusOK, resp)
+	return out
 }
 
-// searchError maps a SearchContext error to the right response: deadline
+// deprecate stamps a legacy-route response with the RFC 9745 Deprecation
+// header and a Link to the /v1 successor.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "@1767225600") // 2026-01-01, the /v1 release
+	w.Header().Set("Link", `<`+successor+`>; rel="successor-version"`)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/search")
+	q, msg := parseSearchQuery(r)
+	if msg != "" {
+		s.error(w, http.StatusBadRequest, msg)
+		return
+	}
+	res, hit, err := s.search(r.Context(), q)
+	if err != nil {
+		s.searchError(w, err)
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	s.json(w, http.StatusOK, SearchResponse{
+		Query:      q.Text,
+		Terms:      res.Terms,
+		Depth:      res.Depth,
+		Candidates: res.Candidates,
+		TotalMs:    float64(res.Total) / float64(time.Millisecond),
+		Cached:     hit,
+		Answers:    answerPayloads(res),
+	})
+}
+
+// handleV1Search serves the versioned search endpoint: same parameters as
+// the legacy route, stable envelope out.
+func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
+	q, msg := parseSearchQuery(r)
+	if msg != "" {
+		s.v1Error(w, http.StatusBadRequest, "bad_request", msg)
+		return
+	}
+	res, hit, err := s.search(r.Context(), q)
+	if err != nil {
+		s.v1SearchError(w, err)
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	results := answerPayloads(res)
+	if results == nil {
+		results = []AnswerPayload{} // a success envelope always carries a results array
+	}
+	s.json(w, http.StatusOK, V1SearchResponse{
+		Results: results,
+		Stats: &V1SearchStats{
+			Query:      q.Text,
+			Terms:      res.Terms,
+			Depth:      res.Depth,
+			Candidates: res.Candidates,
+			TotalMs:    float64(res.Total) / float64(time.Millisecond),
+			Cached:     hit,
+		},
+	})
+}
+
+func (s *Server) handleV1Stats(w http.ResponseWriter, _ *http.Request) {
+	s.json(w, http.StatusOK, V1StatsResponse{Stats: &StatsResponse{
+		Dataset:     s.eng.Name(),
+		Nodes:       s.eng.Graph().NumNodes(),
+		Edges:       s.eng.Graph().NumEdges(),
+		AvgDistance: s.eng.AvgDistance(),
+		Vocabulary:  s.eng.VocabSize(),
+	}})
+}
+
+// searchError maps a Search error to the right legacy response: deadline
 // overruns are the server's fault (504), a vanished client gets no
 // response at all, and everything else is an unprocessable query (422).
 func (s *Server) searchError(w http.ResponseWriter, err error) {
@@ -284,7 +421,21 @@ func (s *Server) searchError(w http.ResponseWriter, err error) {
 	}
 }
 
+// v1SearchError is searchError for the versioned envelope.
+func (s *Server) v1SearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.met.clientGone.Inc() // client gone; drop the write
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Inc()
+		s.v1Error(w, http.StatusGatewayTimeout, "timeout", "search deadline exceeded")
+	default:
+		s.v1Error(w, http.StatusUnprocessableEntity, "unprocessable", err.Error())
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	deprecate(w, "/v1/stats")
 	s.json(w, http.StatusOK, StatsResponse{
 		Dataset:     s.eng.Name(),
 		Nodes:       s.eng.Graph().NumNodes(),
@@ -356,6 +507,15 @@ func (s *Server) json(w http.ResponseWriter, code int, v any) {
 func (s *Server) error(w http.ResponseWriter, code int, msg string) {
 	s.json(w, code, map[string]string{"error": msg})
 }
+
+// v1Error writes a /v1 error envelope: {"error": {"code", "message"}}.
+func (s *Server) v1Error(w http.ResponseWriter, status int, code, msg string) {
+	s.json(w, status, V1SearchResponse{Error: &V1Error{Code: code, Message: msg}})
+}
+
+// isV1 reports whether the request targets a versioned endpoint, so the
+// middleware can pick the matching error body shape.
+func isV1(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
 
 // intParam parses an integer query parameter. An absent parameter yields
 // the default; a present but malformed one is an error, so clients hear

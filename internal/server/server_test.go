@@ -76,6 +76,10 @@ func TestStats(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d", w.Code)
 	}
+	if w.Header().Get("Deprecation") == "" ||
+		w.Header().Get("Link") != `</v1/stats>; rel="successor-version"` {
+		t.Fatalf("legacy route missing deprecation headers: %v", w.Header())
+	}
 	var st StatsResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
@@ -95,6 +99,9 @@ func TestSearchOK(t *testing.T) {
 		w := get(t, s, url)
 		if w.Code != http.StatusOK {
 			t.Fatalf("variant %q: status = %d body %s", variant, w.Code, w.Body)
+		}
+		if w.Header().Get("Deprecation") == "" {
+			t.Fatalf("variant %q: legacy route missing Deprecation header", variant)
 		}
 		var resp SearchResponse
 		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {

@@ -18,7 +18,8 @@ import (
 // return identical answers and differ only in execution strategy.
 type Variant int
 
-// The implementations evaluated in the paper's §VI.
+// The implementations evaluated in the paper's §VI, plus the two baseline
+// systems it compares against.
 const (
 	// CPUPar is the lock-free multi-core two-stage algorithm (default).
 	CPUPar Variant = iota
@@ -28,6 +29,13 @@ const (
 	CPUParD
 	// GPUPar runs the bottom-up stage on the simulated SIMT device.
 	GPUPar
+	// ExactGST solves the query's Group Steiner Tree problem exactly with
+	// the DPBF dynamic program (the paper's reference [7]); the result is
+	// in Result.GST.
+	ExactGST
+	// BANKS runs the BANKS baseline (BANKS-II when Query.Bidirectional is
+	// set, BANKS-I otherwise); the result is in Result.Banks.
+	BANKS
 )
 
 // String names the variant as the paper does.
@@ -41,6 +49,10 @@ func (v Variant) String() string {
 		return "CPU-Par-d"
 	case GPUPar:
 		return "GPU-Par"
+	case ExactGST:
+		return "Exact-GST"
+	case BANKS:
+		return "BANKS"
 	}
 	return "Unknown"
 }
@@ -73,6 +85,36 @@ type Query struct {
 	// instances, which the paper warns yields "arbitrary and meaningless"
 	// central graphs on weighted knowledge bases.
 	DisableActivation bool
+	// MaxStates caps the DP states of the ExactGST variant (0 = unbounded).
+	MaxStates int
+	// Bidirectional selects BANKS-II over BANKS-I for the BANKS variant.
+	Bidirectional bool
+	// MaxVisits caps the iterator visits of the BANKS variant (0 = unbounded).
+	MaxVisits int
+}
+
+// Validate rejects out-of-range query knobs. Zero values mean "use the
+// default" and always pass; the engine and the HTTP layer share these
+// bounds.
+func (q Query) Validate() error {
+	if q.TopK != 0 && (q.TopK < 1 || q.TopK > 200) {
+		return fmt.Errorf("wikisearch: k must be in [1,200]")
+	}
+	if q.Alpha != 0 && (q.Alpha < 0 || q.Alpha >= 1) {
+		return fmt.Errorf("wikisearch: alpha must be in (0,1)")
+	}
+	if q.Lambda != 0 && (q.Lambda < 0 || q.Lambda > 1) {
+		return fmt.Errorf("wikisearch: lambda must be in (0,1]")
+	}
+	if q.MaxLevel != 0 && (q.MaxLevel < 1 || q.MaxLevel > 250) {
+		return fmt.Errorf("wikisearch: max level must be in [1,250]")
+	}
+	switch q.Variant {
+	case CPUPar, Sequential, CPUParD, GPUPar, ExactGST, BANKS:
+	default:
+		return fmt.Errorf("wikisearch: unknown variant %d", q.Variant)
+	}
+	return nil
 }
 
 // AnswerNode is one node of an answer graph, with resolved text.
@@ -135,32 +177,68 @@ type Result struct {
 	// TransferSeconds is the simulated device→host matrix transfer
 	// (GPU-Par only).
 	TransferSeconds float64
+	// GST holds the ExactGST variant's trees (nil otherwise).
+	GST *GSTResult
+	// Banks holds the BANKS variant's trees (nil otherwise).
+	Banks *BanksResult
 }
 
-// Search answers a keyword query. It runs under context.Background; request
-// handlers must use SearchContext so deadlines and disconnects propagate.
-//
-//wikisearch:bgcontext
-func (e *Engine) Search(q Query) (*Result, error) {
-	return e.SearchContext(context.Background(), q)
-}
-
-// SearchContext answers a keyword query, aborting between search levels if
-// ctx is cancelled (the online service uses this for request deadlines).
+// Search answers a keyword query; it is the engine's single entry point for
+// every variant. The search aborts between levels if ctx is cancelled (the
+// online service uses this for request deadlines); a nil ctx runs detached.
 // The outcome — including errors — is reported to the observer installed
 // with SetSearchObserver, which the serving layer uses to feed per-phase
-// latency histograms.
-func (e *Engine) SearchContext(ctx context.Context, q Query) (*Result, error) {
+// latency histograms. When batching is enabled (EnableBatching), concurrent
+// compatible searches may be coalesced into one shared bottom-up expansion;
+// results are unaffected.
+func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	res, err := e.searchContext(ctx, q)
 	e.observe(q, res, err)
 	return res, err
 }
 
+// SearchContext answers a keyword query under ctx.
+//
+// Deprecated: SearchContext is the pre-v1 name of Search; call Search.
+func (e *Engine) SearchContext(ctx context.Context, q Query) (*Result, error) {
+	return e.Search(ctx, q)
+}
+
+// SearchBackground answers a keyword query detached from any caller
+// context. Request handlers must use Search with r.Context() so deadlines
+// and disconnects propagate.
+//
+// Deprecated: call Search with a context.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchBackground(q Query) (*Result, error) {
+	return e.Search(context.Background(), q)
+}
+
 func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch q.Variant {
+	case ExactGST:
+		return e.searchGST(q)
+	case BANKS:
+		return e.searchBanks(q)
+	}
 	in, terms, err := e.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
+	if b := e.batcher.Load(); b != nil && b.eligible(q, len(terms)) {
+		return b.do(ctx, q, in, terms)
+	}
+	return e.runPrepared(ctx, q, in, terms)
+}
+
+// params resolves q's knobs into core parameters: defaults applied, thread
+// count concretized (Sequential forces one thread). The batcher keys batch
+// compatibility on the resolved values.
+func (e *Engine) params(q Query) core.Params {
 	if q.Threads <= 0 {
 		q.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -173,11 +251,19 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 		Threads:           q.Threads,
 		DisableLevelCover: q.DisableLevelCover,
 	}.Defaults()
-	if ctx != nil && ctx != context.Background() {
-		p.Ctx = ctx
-	}
 	if q.Variant == Sequential {
 		p.Threads = 1
+	}
+	return p
+}
+
+// runPrepared executes a prepared Central Graph query solo — the path every
+// search took before batching, and the batcher's fallback for batches of
+// one.
+func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms []string) (*Result, error) {
+	p := e.params(q)
+	if ctx != nil && ctx != context.Background() {
+		p.Ctx = ctx
 	}
 	if q.DisableActivation {
 		in.Levels = e.zeroLevels()
@@ -188,6 +274,7 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 	var (
 		res      *core.Result
 		transfer float64
+		err      error
 	)
 	switch q.Variant {
 	case CPUPar, Sequential:
@@ -340,18 +427,22 @@ type GSTResult struct {
 	Elapsed time.Duration
 }
 
-// SearchExactGST solves the query's Group Steiner Tree problem exactly
-// with the DPBF dynamic program (Ding et al., ICDE'07 — the paper's
-// reference [7]). Exponential in the number of keywords (≤ 12); useful as
-// ground truth and to reproduce the paper's argument that exact GST is not
-// interactive ("this process is rather slow").
-func (e *Engine) SearchExactGST(raw string, topK, maxStates int) (*GSTResult, error) {
-	in, terms, err := e.prepare(raw)
+// searchGST runs the ExactGST variant: the DPBF dynamic program of Ding et
+// al., ICDE'07 — the paper's reference [7]. Exponential in the number of
+// keywords (≤ 12); useful as ground truth and to reproduce the paper's
+// argument that exact GST is not interactive ("this process is rather
+// slow").
+func (e *Engine) searchGST(q Query) (*Result, error) {
+	in, terms, err := e.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
+	topK := q.TopK
+	if topK <= 0 {
+		topK = 20
+	}
 	start := time.Now()
-	res, err := gst.Search(e.g, e.weights, in.Sources, gst.Options{K: topK, MaxStates: maxStates})
+	res, err := gst.Search(e.g, e.weights, in.Sources, gst.Options{K: topK, MaxStates: q.MaxStates})
 	if err != nil {
 		return nil, err
 	}
@@ -365,20 +456,25 @@ func (e *Engine) SearchExactGST(raw string, topK, maxStates int) (*GSTResult, er
 			Edges:     t.Edges,
 		})
 	}
-	return out, nil
+	return &Result{Terms: terms, Total: out.Elapsed, GST: out}, nil
 }
 
-// SearchBANKS runs a baseline GST-approximation search: BANKS-II when
-// bidirectional is true (the paper's comparison system), BANKS-I otherwise.
-func (e *Engine) SearchBANKS(raw string, topK int, bidirectional bool, maxVisits int) (*BanksResult, error) {
-	in, terms, err := e.prepare(raw)
+// searchBanks runs the BANKS variant, a baseline GST-approximation search:
+// BANKS-II when q.Bidirectional is set (the paper's comparison system),
+// BANKS-I otherwise.
+func (e *Engine) searchBanks(q Query) (*Result, error) {
+	in, terms, err := e.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
-	opts := banks.Options{K: topK, MaxVisits: maxVisits}
+	topK := q.TopK
+	if topK <= 0 {
+		topK = 20
+	}
+	opts := banks.Options{K: topK, MaxVisits: q.MaxVisits}
 	start := time.Now()
 	var res *banks.Result
-	if bidirectional {
+	if q.Bidirectional {
 		res = banks.SearchBANKS2(e.g, e.weights, in.Sources, opts)
 	} else {
 		res = banks.SearchBANKS1(e.g, e.weights, in.Sources, opts)
@@ -393,5 +489,37 @@ func (e *Engine) SearchBANKS(raw string, topK int, bidirectional bool, maxVisits
 			Paths:     t.Paths,
 		})
 	}
-	return out, nil
+	return &Result{Terms: terms, Total: out.Elapsed, Banks: out}, nil
+}
+
+// SearchExactGST solves the query's Group Steiner Tree problem exactly.
+//
+// Deprecated: call Search with Variant ExactGST (TopK, MaxStates in the
+// Query) and read Result.GST.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchExactGST(raw string, topK, maxStates int) (*GSTResult, error) {
+	res, err := e.Search(context.Background(), Query{
+		Text: raw, TopK: topK, MaxStates: maxStates, Variant: ExactGST,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.GST, nil
+}
+
+// SearchBANKS runs a baseline GST-approximation search.
+//
+// Deprecated: call Search with Variant BANKS (TopK, Bidirectional,
+// MaxVisits in the Query) and read Result.Banks.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchBANKS(raw string, topK int, bidirectional bool, maxVisits int) (*BanksResult, error) {
+	res, err := e.Search(context.Background(), Query{
+		Text: raw, TopK: topK, Bidirectional: bidirectional, MaxVisits: maxVisits, Variant: BANKS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Banks, nil
 }

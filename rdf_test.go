@@ -1,6 +1,7 @@
 package wikisearch
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestImportNTriplesPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Search(Query{Text: "sparql rdf"})
+	res, err := eng.Search(context.Background(), Query{Text: "sparql rdf"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestImportWikidataJSONPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Search(Query{Text: "sparql query language"})
+	res, err := eng.Search(context.Background(), Query{Text: "sparql query language"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package wikisearch
 // time. Skipped with -short.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -33,7 +34,7 @@ func TestLargeScaleSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := eng.Search(Query{Text: "bayesian inference markov network", TopK: 20})
+	res, err := eng.Search(context.Background(), Query{Text: "bayesian inference markov network", TopK: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
