@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench allocguard fmt fmtcheck
+.PHONY: check build test vet lint race bench allocguard fuzzsmoke fmt fmtcheck
 
-check: fmtcheck vet lint race allocguard
+check: fmtcheck vet lint race allocguard fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,16 @@ race:
 allocguard:
 	$(GO) test -run AllocationFree -count=1 . ./internal/core ./internal/parallel
 
+# A short coverage-guided fuzz pass over every dump decoder generation
+# (v1/v2 streams, v3 mmap images): corrupt dumps must never panic or
+# over-allocate. The full corpus lives under testdata/fuzz via go test.
+fuzzsmoke:
+	$(GO) test -run=^$$ -fuzz=FuzzLoadDump -fuzztime=20s ./internal/storage
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 	$(GO) run ./cmd/benchrunner -exp core -core-out BENCH_core.json
+	$(GO) run ./cmd/benchrunner -exp startup -startup-out BENCH_startup.json
 
 fmt:
 	gofmt -l -w .

@@ -23,15 +23,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch or 'all' (blinks, scaling, core and batch are opt-in)")
-		dataset  = flag.String("dataset", "wiki2017-sim", "dataset for single-dataset experiments (exp1..exp4)")
-		queries  = flag.Int("queries", 10, "queries averaged per setting (paper: 50)")
-		threads  = flag.Int("threads", 8, "Tnum for efficiency experiments (paper default: 30)")
-		visits   = flag.Int("banks-visits", 100000, "BANKS-II visit cap per query (analogue of the paper's 500s timeout)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		coreOut  = flag.String("core-out", "BENCH_core.json", "output path for the core kernel benchmark (-exp core)")
-		batchOut = flag.String("batch-out", "BENCH_batch.json", "output path for the query-batching benchmark (-exp batch)")
-		clients  = flag.Int("clients", 32, "concurrent clients for -exp batch")
+		exp           = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch,startup or 'all' (blinks, scaling, core, batch and startup are opt-in)")
+		dataset       = flag.String("dataset", "wiki2017-sim", "dataset for single-dataset experiments (exp1..exp4)")
+		queries       = flag.Int("queries", 10, "queries averaged per setting (paper: 50)")
+		threads       = flag.Int("threads", 8, "Tnum for efficiency experiments (paper default: 30)")
+		visits        = flag.Int("banks-visits", 100000, "BANKS-II visit cap per query (analogue of the paper's 500s timeout)")
+		seed          = flag.Int64("seed", 1, "workload seed")
+		coreOut       = flag.String("core-out", "BENCH_core.json", "output path for the core kernel benchmark (-exp core)")
+		batchOut      = flag.String("batch-out", "BENCH_batch.json", "output path for the query-batching benchmark (-exp batch)")
+		clients       = flag.Int("clients", 32, "concurrent clients for -exp batch")
+		startupOut    = flag.String("startup-out", "BENCH_startup.json", "output path for the cold-start benchmark (-exp startup)")
+		startupPreset = flag.String("startup-preset", "wiki2018-sim", "dataset preset for -exp startup")
 	)
 	flag.Parse()
 
@@ -229,6 +231,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *batchOut)
+	}
+	if want["startup"] { // opt-in cold-start benchmark (not part of 'all')
+		fmt.Fprintln(os.Stderr, "running cold-start benchmark...")
+		rep, err := bench.StartupBench(bench.StartupBenchConfig{Preset: *startupPreset, Seed: *seed, Threads: *threads})
+		if err != nil {
+			fatal(err)
+		}
+		show(rep.Table())
+		if err := bench.WriteStartupBench(*startupOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *startupOut)
 	}
 	if want["scaling"] { // opt-in: generates several graphs (not part of 'all')
 		t, _, err := bench.Scaling(cfg, nil)

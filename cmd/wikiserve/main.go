@@ -42,10 +42,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wikiserve: -kb is required")
 		os.Exit(2)
 	}
+	t0 := time.Now()
 	eng, err := wikisearch.LoadEngine(*kbPath, wikisearch.EngineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close()
+	info := eng.LoadInfo()
+	log.Printf("wikiserve: loaded %s in %v (format=v%d mode=%s mapped=%.1fMB file=%.1fMB)",
+		*kbPath, time.Since(t0).Round(time.Millisecond), info.Format, info.Mode,
+		float64(info.MappedBytes)/(1<<20), float64(info.FileBytes)/(1<<20))
 	cfg := server.Config{
 		Timeout:      *timeout,
 		MaxInFlight:  *maxInFlight,

@@ -92,6 +92,37 @@ type Engine struct {
 	// batcher, when set (EnableBatching), coalesces concurrent compatible
 	// searches into shared bottom-up expansions.
 	batcher atomic.Pointer[batcher]
+
+	// dump retains the loaded dump when the engine came from LoadEngine:
+	// for a memory-mapped v3 dump the graph/weight/index arrays alias the
+	// mapping it owns, which Close releases.
+	dump *storage.Dump
+}
+
+// DumpFormat selects the on-disk format for Engine.SaveFormat.
+type DumpFormat int
+
+const (
+	// FormatV2 is the streamed record format: compact, decoded fully into
+	// heap memory at load.
+	FormatV2 DumpFormat = 2
+	// FormatV3 is the mmap-able section format: page-aligned arrays loaded
+	// as zero-copy views for near-instant startup. The default.
+	FormatV3 DumpFormat = 3
+)
+
+// LoadInfo describes how a loaded engine's dump got into memory.
+type LoadInfo struct {
+	// Format is the on-disk version read (1, 2 or 3); 0 for engines built
+	// in memory by NewEngine.
+	Format int
+	// Mode is "decode" (v1/v2), "mmap" (v3 zero-copy) or "read" (v3
+	// fallback); empty for in-memory engines.
+	Mode string
+	// MappedBytes is the live mapping size (0 unless Mode is "mmap").
+	MappedBytes int64
+	// FileBytes is the dump file size.
+	FileBytes int64
 }
 
 // levelEntry is one per-α cache slot. The sync.Once guarantees the level
@@ -157,6 +188,7 @@ func LoadEngine(path string, o EngineOptions) (*Engine, error) {
 		avgDist:    d.AvgDist,
 		stddev:     d.Deviation,
 		levelCache: map[float64]*levelEntry{},
+		dump:       d,
 	}
 	if e.ix == nil {
 		e.ix = text.BuildIndex(e.g)
@@ -194,18 +226,59 @@ func newEngineFrom(name string, g *Graph, w []float64, o EngineOptions) (*Engine
 	return e, nil
 }
 
-// Save writes a version-2 dump: graph, weights, distance statistics and
-// the inverted index, so LoadEngine starts without recomputation.
+// Save writes the engine's dump to path in the default format (v3, the
+// mmap-able layout), so LoadEngine starts without recomputation — and,
+// on platforms with mmap, without even reading the arrays up front.
 func (e *Engine) Save(path string) error {
-	return storage.SaveDumpFile(path, &storage.Dump{
+	return e.SaveFormat(path, FormatV3)
+}
+
+// SaveFormat writes the engine's dump to path in the requested format:
+// graph, weights, distance statistics and the inverted index.
+func (e *Engine) SaveFormat(path string, format DumpFormat) error {
+	d := &storage.Dump{
 		Name:      e.name,
 		Graph:     e.g,
 		Weights:   e.weights,
 		AvgDist:   e.avgDist,
 		Deviation: e.stddev,
 		Index:     e.ix,
-	})
+	}
+	switch format {
+	case FormatV2:
+		return storage.SaveDumpFile(path, d)
+	case FormatV3:
+		return storage.SaveDumpFileV3(path, d)
+	default:
+		return fmt.Errorf("wikisearch: unknown dump format %d", format)
+	}
 }
+
+// LoadInfo reports how this engine's dump was loaded. Engines built in
+// memory (NewEngine) return a zero LoadInfo.
+func (e *Engine) LoadInfo() LoadInfo {
+	if e.dump == nil {
+		return LoadInfo{}
+	}
+	s := e.dump.Source
+	return LoadInfo{Format: s.Format, Mode: s.Mode, MappedBytes: s.MappedBytes, FileBytes: s.Bytes}
+}
+
+// Close releases the memory mapping backing a v3-loaded engine. The caller
+// must guarantee no search is in flight — after Close, the graph, weights
+// and index views are invalid. Close on an in-memory or v2-loaded engine
+// is a no-op; it is idempotent.
+func (e *Engine) Close() error {
+	if e.dump == nil {
+		return nil
+	}
+	return e.dump.Close()
+}
+
+// VerifyDumpFile fully verifies a dump file of any version, including the
+// per-section CRCs a v3 load skips for instant startup. Use it after
+// copying dumps between machines or converting formats.
+func VerifyDumpFile(path string) error { return storage.VerifyDumpFile(path) }
 
 // SetName sets the dataset name recorded in dumps.
 func (e *Engine) SetName(name string) { e.name = name }

@@ -1,0 +1,113 @@
+package wikisearch
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"wikisearch/internal/text"
+)
+
+// TestFormatEquivalence is the v3 acceptance suite: an engine loaded from
+// a memory-mapped v3 dump must answer every query bit-identically to the
+// same engine loaded from the v2 dump, across variants and thread counts.
+// Queries are randomized from real node labels so term matching, frontier
+// expansion and scoring all run over the zero-copy views.
+func TestFormatEquivalence(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{Preset: "tiny-sim", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds.Graph, EngineOptions{Threads: 2, DistanceSamplePairs: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetName(ds.Name)
+
+	dir := t.TempDir()
+	v2Path := filepath.Join(dir, "kb.v2.wskb")
+	v3Path := filepath.Join(dir, "kb.v3.wskb")
+	if err := eng.SaveFormat(v2Path, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveFormat(v3Path, FormatV3); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := LoadEngine(v2Path, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	e3, err := LoadEngine(v3Path, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+
+	if info := e2.LoadInfo(); info.Format != 2 || info.Mode != "decode" {
+		t.Fatalf("v2 load info = %+v", info)
+	}
+	info := e3.LoadInfo()
+	if info.Format != 3 {
+		t.Fatalf("v3 load info = %+v", info)
+	}
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		if info.Mode != "mmap" || info.MappedBytes <= 0 {
+			t.Fatalf("v3 not mmap-loaded: %+v", info)
+		}
+	}
+
+	for _, q := range equivalenceQueries(t, e2, 25) {
+		for _, v := range []Variant{CPUPar, Sequential, CPUParD} {
+			for _, threads := range []int{1, runtime.GOMAXPROCS(0)} {
+				if v == Sequential && threads != 1 {
+					continue // Sequential forces one thread anyway
+				}
+				q.Variant, q.Threads = v, threads
+				r2, err2 := e2.Search(context.Background(), q)
+				r3, err3 := e3.Search(context.Background(), q)
+				if (err2 == nil) != (err3 == nil) {
+					t.Fatalf("%q v%d t%d: v2 err %v, v3 err %v", q.Text, v, threads, err2, err3)
+				}
+				if err2 != nil {
+					continue
+				}
+				sameResult(t, q.Text, r2, r3)
+			}
+		}
+	}
+}
+
+// equivalenceQueries derives n randomized keyword queries from the
+// engine's own node labels, so most of them actually match terms.
+func equivalenceQueries(t *testing.T, e *Engine, n int) []Query {
+	t.Helper()
+	g := e.Graph()
+	rng := rand.New(rand.NewSource(99))
+	qs := make([]Query, 0, n)
+	for len(qs) < n {
+		var words []string
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			v := NodeID(rng.Intn(g.NumNodes()))
+			terms := text.Normalize(g.Label(v))
+			if len(terms) > 0 {
+				words = append(words, terms[rng.Intn(len(terms))])
+			}
+		}
+		if len(words) == 0 {
+			continue
+		}
+		text := ""
+		for i, w := range words {
+			if i > 0 {
+				text += " "
+			}
+			text += w
+		}
+		qs = append(qs, Query{Text: text, TopK: 1 + rng.Intn(5)})
+	}
+	return qs
+}

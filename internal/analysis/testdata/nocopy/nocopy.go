@@ -103,3 +103,33 @@ func Each(gs []Guarded) {
 }
 
 func sink(v any) { _ = v }
+
+// Mapping owns an OS memory mapping, like storage's v3 dump mapping: the
+// data slice aliases pages that Close unmaps, so a value copy lets the
+// original be closed while the copy still hands out views into unmapped
+// memory.
+//
+//wikisearch:nocopy
+type Mapping struct {
+	data   []byte
+	closed bool
+}
+
+// Close releases the mapping (pointer receiver: fine).
+func (m *Mapping) Close() { m.closed = true }
+
+// Holder embeds a Mapping by value, so it is transitively nocopy.
+type Holder struct {
+	m Mapping
+}
+
+// Snapshot copies the mapping owner.
+func SnapshotMapping(m *Mapping) {
+	dup := *m // want `assignment copies nocopy type Mapping`
+	_ = dup
+}
+
+// Spill passes a mapping-holding struct by value.
+func Spill(h *Holder) {
+	sink(*h) // want `argument copies nocopy type Holder`
+}

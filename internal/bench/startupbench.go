@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"wikisearch"
+)
+
+// StartupBenchConfig sizes the cold-start benchmark: one dataset prepared
+// once, saved in both dump formats, then repeatedly loaded from scratch.
+// "Cold" here means a fresh LoadEngine against the OS page cache — the
+// v2 decode cost it measures (allocate + copy + validate every array) is
+// paid identically warm or cold, while v3's mmap maps pages lazily.
+type StartupBenchConfig struct {
+	Preset  string `json:"preset"`  // dataset preset; default "wiki2018-sim"
+	Seed    int64  `json:"seed"`    // generation seed override
+	Repeats int    `json:"repeats"` // loads averaged per format (default 5)
+	Threads int    `json:"threads"` // engine preparation parallelism
+}
+
+// Defaults fills unset fields.
+func (c StartupBenchConfig) Defaults() StartupBenchConfig {
+	if c.Preset == "" {
+		c.Preset = "wiki2018-sim"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 5
+	}
+	return c
+}
+
+// StartupBenchPoint is one format's measured startup profile.
+type StartupBenchPoint struct {
+	Format    string  `json:"format"`
+	FileBytes int64   `json:"file_bytes"`
+	LoadMode  string  `json:"load_mode"` // decode / mmap / read
+	LoadMsMin float64 `json:"load_ms_min"`
+	LoadMsAvg float64 `json:"load_ms_avg"`
+	// FirstQueryMs is load plus one warm-up search — the user-visible
+	// time to first answer on a fresh process.
+	FirstQueryMs float64 `json:"first_query_ms"`
+}
+
+// StartupBenchReport is the full outcome, serialized to BENCH_startup.json
+// by `benchrunner -exp startup`.
+type StartupBenchReport struct {
+	Config     StartupBenchConfig  `json:"config"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Nodes      int                 `json:"nodes"`
+	Edges      int                 `json:"edges"`
+	Points     []StartupBenchPoint `json:"points"`
+	// Speedup is v2 min-load-time over v3 min-load-time.
+	Speedup float64 `json:"speedup"`
+}
+
+// StartupBench prepares one engine, saves it in both formats and measures
+// LoadEngine latency for each. The v3 point also verifies the loaded
+// engine took the mmap path where the platform provides it.
+func StartupBench(cfg StartupBenchConfig) (*StartupBenchReport, error) {
+	cfg = cfg.Defaults()
+	ds, err := wikisearch.GenerateDataset(wikisearch.DatasetConfig{Preset: cfg.Preset, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := wikisearch.NewEngine(ds.Graph, wikisearch.EngineOptions{Threads: cfg.Threads})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetName(ds.Name)
+
+	dir, err := os.MkdirTemp("", "wikisearch-startup-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := &StartupBenchReport{
+		Config:     cfg,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Nodes:      ds.Graph.NumNodes(),
+		Edges:      ds.Graph.NumEdges(),
+	}
+	var v2Min, v3Min float64
+	for _, fm := range []struct {
+		name   string
+		format wikisearch.DumpFormat
+	}{
+		{"v2", wikisearch.FormatV2},
+		{"v3", wikisearch.FormatV3},
+	} {
+		path := filepath.Join(dir, "kb."+fm.name+".wskb")
+		if err := eng.SaveFormat(path, fm.format); err != nil {
+			return nil, err
+		}
+		pt, err := measureStartup(path, fm.name, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, *pt)
+		switch fm.name {
+		case "v2":
+			v2Min = pt.LoadMsMin
+		case "v3":
+			v3Min = pt.LoadMsMin
+		}
+	}
+	if v3Min > 0 {
+		rep.Speedup = v2Min / v3Min
+	}
+	return rep, nil
+}
+
+// measureStartup loads path repeats times from scratch, closing each
+// engine before the next load, and once more to time load+first-search.
+func measureStartup(path, format string, repeats int) (*StartupBenchPoint, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	pt := &StartupBenchPoint{Format: format, FileBytes: st.Size()}
+
+	var totalMs float64
+	pt.LoadMsMin = -1
+	for i := 0; i < repeats; i++ {
+		t0 := time.Now()
+		e, err := wikisearch.LoadEngine(path, wikisearch.EngineOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		pt.LoadMode = e.LoadInfo().Mode
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+		totalMs += ms
+		if pt.LoadMsMin < 0 || ms < pt.LoadMsMin {
+			pt.LoadMsMin = ms
+		}
+	}
+	pt.LoadMsAvg = totalMs / float64(repeats)
+
+	t0 := time.Now()
+	e, err := wikisearch.LoadEngine(path, wikisearch.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if _, err := e.Search(context.Background(), wikisearch.Query{Text: "research article", TopK: 5, Threads: 2}); err != nil {
+		// Some generated vocabularies may miss the probe terms; the load
+		// timing above is the headline number either way.
+		pt.FirstQueryMs = float64(time.Since(t0)) / float64(time.Millisecond)
+		return pt, nil
+	}
+	pt.FirstQueryMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	return pt, nil
+}
+
+// Table renders the report for the terminal.
+func (r *StartupBenchReport) Table() Table {
+	t := Table{
+		ID: "startup",
+		Title: fmt.Sprintf("Cold-start latency, %s (%d nodes, %d edges): v2 decode vs v3 mmap",
+			r.Config.Preset, r.Nodes, r.Edges),
+		Header: []string{"format", "mode", "file MB", "load ms (min)", "load ms (avg)", "first query ms"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Format,
+			p.LoadMode,
+			fmt.Sprintf("%.1f", float64(p.FileBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", p.LoadMsMin),
+			fmt.Sprintf("%.2f", p.LoadMsAvg),
+			fmt.Sprintf("%.2f", p.FirstQueryMs),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"speedup", "", "", fmt.Sprintf("%.1fx", r.Speedup), "", ""})
+	return t
+}
+
+// WriteStartupBench serializes the report as indented JSON.
+func WriteStartupBench(path string, r *StartupBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -78,46 +78,56 @@ func newResultCache(max int) *resultCache {
 // do returns the cached result for key, or runs fn to compute it. hit
 // reports whether the result came from the cache or from another
 // in-flight identical request. Waiters give up when their own ctx fires.
+//
+// When the leader dies on its own context (its client hung up or its
+// deadline passed), that is not the waiters' fate — but they must not all
+// retry at once: the first waiter back through the top of the loop finds
+// no in-flight call, registers as the NEW leader and runs fn on its own
+// context; the rest find that call and coalesce behind it. Without the
+// re-election loop, one cancelled leader turns its N waiters into N
+// simultaneous engine searches — a cache stampede on exactly the hot,
+// already-deduplicated key.
 func (c *resultCache) do(ctx context.Context, key cacheKey, fn func() (*wikisearch.Result, error)) (res *wikisearch.Result, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		res := el.Value.(*cacheEntry).res
-		c.mu.Unlock()
-		return res, true, nil
-	}
-	if call, ok := c.calls[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-call.done:
-			if call.err == nil {
-				return call.res, true, nil
-			}
-			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
-				// The leader's request died on its own context; that is
-				// not this request's fate. Search on our own context.
-				res, err := fn()
-				return res, false, err
-			}
-			return nil, true, call.err
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true, nil
 		}
-	}
-	call := &inflightCall{done: make(chan struct{})}
-	c.calls[key] = call
-	c.mu.Unlock()
+		if call, ok := c.calls[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+				if call.err == nil {
+					return call.res, true, nil
+				}
+				if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+					// Leader died on its own context; re-enter to elect a
+					// new one (or coalesce behind whoever got there first).
+					continue
+				}
+				return nil, true, call.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		call := &inflightCall{done: make(chan struct{})}
+		c.calls[key] = call
+		c.mu.Unlock()
 
-	call.res, call.err = fn()
+		call.res, call.err = fn()
 
-	c.mu.Lock()
-	delete(c.calls, key)
-	if call.err == nil {
-		c.store(key, call.res)
+		c.mu.Lock()
+		delete(c.calls, key)
+		if call.err == nil {
+			c.store(key, call.res)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.res, false, call.err
 	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.res, false, call.err
 }
 
 // store inserts under c.mu, evicting the least recently used entry past

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -188,5 +189,61 @@ func TestSingleflightLeaderCancelDoesNotPoison(t *testing.T) {
 	<-followerDone
 	if err != nil || hit || got != res {
 		t.Fatalf("follower inherited the leader's fate: res %p hit %v err %v", got, hit, err)
+	}
+}
+
+// TestSingleflightNoStampedeAfterLeaderCancel: when the leader dies on its
+// own context with N waiters parked behind it, exactly ONE waiter re-runs
+// the search (as the new leader) and the rest coalesce behind it or hit
+// the freshly stored cache entry — fn runs exactly twice, not 1+N times.
+func TestSingleflightNoStampedeAfterLeaderCancel(t *testing.T) {
+	c := newResultCache(4)
+	var calls atomic.Int64
+	res := &wikisearch.Result{Candidates: 7}
+
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.do(context.Background(), key("q"), func() (*wikisearch.Result, error) {
+			calls.Add(1)
+			<-gate
+			return nil, context.Canceled // the leader's client hung up
+		})
+	}()
+	waitForWaiter(t, c, key("q"))
+
+	const followers = 16
+	results := make(chan *wikisearch.Result, followers)
+	errs := make(chan error, followers)
+	var started sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			got, _, err := c.do(context.Background(), key("q"), func() (*wikisearch.Result, error) {
+				calls.Add(1)
+				return res, nil
+			})
+			results <- got
+			errs <- err
+		}()
+	}
+	started.Wait()
+	close(gate) // release the doomed leader
+	<-leaderDone
+
+	for i := 0; i < followers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("follower error: %v", err)
+		}
+		if got := <-results; got != res {
+			t.Fatalf("follower got %p, want %p", got, res)
+		}
+	}
+	// One doomed leader + one re-elected leader; every other follower
+	// coalesced or hit the cache.
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn ran %d times, want 2 (stampede)", n)
 	}
 }

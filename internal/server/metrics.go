@@ -33,6 +33,9 @@ type serverMetrics struct {
 	batchColumns  *metrics.Histogram // occupancy: keyword columns per launched batch
 	batchCoalesce *metrics.Histogram // time a batch stayed open before launch
 	batchSolo     *metrics.Counter   // batches that degenerated to one query
+
+	kbMappedBytes *metrics.Gauge      // live KB mapping size (0 unless mmap-loaded)
+	kbLoadMode    *metrics.CounterVec // 1 on the label of the load mode in use
 }
 
 func newServerMetrics() *serverMetrics {
@@ -72,7 +75,22 @@ func newServerMetrics() *serverMetrics {
 			[]float64{25e-6, 50e-6, 100e-6, 200e-6, 500e-6, 1e-3, 5e-3, 25e-3}),
 		batchSolo: r.Counter("wikisearch_batch_solo_total",
 			"Launched batches that held a single query and ran the solo path."),
+		kbMappedBytes: r.Gauge("wikisearch_kb_mapped_bytes",
+			"Bytes of the knowledge-base dump held in a live memory mapping (0 unless mmap-loaded)."),
+		kbLoadMode: r.CounterVec("wikisearch_kb_load_info",
+			"How the knowledge base got into memory: 1 on the mode in use (decode, mmap, read, memory).", "mode"),
 	}
+}
+
+// observeLoad records how the engine's dump was loaded; called once at
+// server construction.
+func (m *serverMetrics) observeLoad(info wikisearch.LoadInfo) {
+	m.kbMappedBytes.Set(info.MappedBytes)
+	mode := info.Mode
+	if mode == "" {
+		mode = "memory" // engine built in process, no dump involved
+	}
+	m.kbLoadMode.With(mode).Inc()
 }
 
 // observeSearch is installed as the engine's SearchObserver: every

@@ -123,6 +123,7 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	eng.SetSearchObserver(s.met.observeSearch)
+	s.met.observeLoad(eng.LoadInfo())
 	if cfg.BatchWindow >= 0 {
 		eng.EnableBatching(wikisearch.BatchOptions{
 			Window:     cfg.BatchWindow,
@@ -190,13 +191,19 @@ type EdgePayload struct {
 	Rel  string `json:"rel"`
 }
 
-// StatsResponse is the /stats payload.
+// StatsResponse is the /stats payload. The load_* fields describe how the
+// KB dump got into memory (absent for engines built in memory rather than
+// loaded from a dump): load_mode "mmap" means the graph arrays are
+// zero-copy views into a live file mapping of mapped_bytes bytes.
 type StatsResponse struct {
 	Dataset     string  `json:"dataset"`
 	Nodes       int     `json:"nodes"`
 	Edges       int     `json:"edges"`
 	AvgDistance float64 `json:"avg_distance"`
 	Vocabulary  int     `json:"vocabulary"`
+	LoadFormat  int     `json:"load_format,omitempty"`
+	LoadMode    string  `json:"load_mode,omitempty"`
+	MappedBytes int64   `json:"mapped_bytes,omitempty"`
 }
 
 // V1Error is the error block of every /v1 envelope. Code is a stable
@@ -397,13 +404,8 @@ func (s *Server) handleV1Search(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleV1Stats(w http.ResponseWriter, _ *http.Request) {
-	s.json(w, http.StatusOK, V1StatsResponse{Stats: &StatsResponse{
-		Dataset:     s.eng.Name(),
-		Nodes:       s.eng.Graph().NumNodes(),
-		Edges:       s.eng.Graph().NumEdges(),
-		AvgDistance: s.eng.AvgDistance(),
-		Vocabulary:  s.eng.VocabSize(),
-	}})
+	st := s.statsResponse()
+	s.json(w, http.StatusOK, V1StatsResponse{Stats: &st})
 }
 
 // searchError maps a Search error to the right legacy response: deadline
@@ -434,15 +436,24 @@ func (s *Server) v1SearchError(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	deprecate(w, "/v1/stats")
-	s.json(w, http.StatusOK, StatsResponse{
+// statsResponse assembles the shared /stats and /v1/stats payload.
+func (s *Server) statsResponse() StatsResponse {
+	info := s.eng.LoadInfo()
+	return StatsResponse{
 		Dataset:     s.eng.Name(),
 		Nodes:       s.eng.Graph().NumNodes(),
 		Edges:       s.eng.Graph().NumEdges(),
 		AvgDistance: s.eng.AvgDistance(),
 		Vocabulary:  s.eng.VocabSize(),
-	})
+		LoadFormat:  info.Format,
+		LoadMode:    info.Mode,
+		MappedBytes: info.MappedBytes,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	deprecate(w, "/v1/stats")
+	s.json(w, http.StatusOK, s.statsResponse())
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -8,14 +8,17 @@ import (
 	"io"
 	"math"
 	"os"
+	"unsafe"
 
 	"wikisearch/internal/graph"
 	"wikisearch/internal/text"
 )
 
-// Dump is the version-2 on-disk engine snapshot: graph, weights, the
-// sampled average-distance statistics, and the inverted keyword index —
+// Dump is an on-disk engine snapshot: graph, weights, the sampled
+// average-distance statistics, and the inverted keyword index —
 // everything the engine needs to start serving without recomputation.
+// Version 2 is the streamed record format; version 3 (v3.go) is the
+// mmap-able section format whose loaded arrays alias the file mapping.
 type Dump struct {
 	Name      string
 	Graph     *graph.Graph
@@ -24,6 +27,47 @@ type Dump struct {
 	Deviation float64
 	// Index may be nil, in which case the loader's caller rebuilds it.
 	Index *text.Index
+
+	// Source describes how this dump was loaded (zero for dumps built in
+	// memory for saving).
+	Source LoadSource
+
+	// src owns the v3 mapping (or heap image) the arrays alias; nil for
+	// decoded v1/v2 dumps, whose arrays are ordinary heap allocations.
+	src *mapping
+}
+
+// LoadSource describes the provenance of a loaded dump.
+type LoadSource struct {
+	// Format is the on-disk version that was read (1, 2 or 3).
+	Format int
+	// Mode is how the bytes got into memory: LoadModeDecode (v1/v2 record
+	// decoding), LoadModeMmap (v3 zero-copy mapping) or LoadModeRead (v3
+	// image read into a heap buffer).
+	Mode string
+	// MappedBytes is the size of the live memory mapping (0 unless Mode
+	// is LoadModeMmap).
+	MappedBytes int64
+	// Bytes is the dump file size.
+	Bytes int64
+}
+
+// Load modes reported in LoadSource.Mode and surfaced by wikiserve.
+const (
+	LoadModeDecode = "decode"
+	LoadModeMmap   = "mmap"
+	LoadModeRead   = "read"
+)
+
+// Close releases the memory mapping backing a v3-loaded dump. After Close
+// every slice and string view handed out by the loader is invalid; the
+// caller (Engine.Close) must guarantee no search is in flight. Close on a
+// decoded or in-memory dump is a no-op. It is idempotent.
+func (d *Dump) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.src.Close()
 }
 
 const version2 = 2
@@ -73,11 +117,60 @@ func SaveDump(w io.Writer, d *Dump) error {
 	return err
 }
 
-// LoadDump reads a version-1 or version-2 dump. Version-1 files yield a
-// Dump with zero statistics and a nil index.
+// LoadDump reads a dump of any version from r. Version-3 images are read
+// fully into memory and parsed in place (use LoadDumpFile to get the
+// zero-copy mmap path); version-1 files yield a Dump with zero statistics
+// and a nil index.
 func LoadDump(r io.Reader) (*Dump, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if head, err := br.Peek(8); err == nil && isV3Header(head) {
+		data, err := io.ReadAll(io.LimitReader(br, int64(maxV3Bytes)+1))
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		if int64(len(data)) > int64(maxV3Bytes) {
+			return nil, fmt.Errorf("storage: v3 dump exceeds size limit")
+		}
+		d, err := parseV3(alignedImage(data), nil)
+		if err != nil {
+			return nil, err
+		}
+		d.Source.Mode = LoadModeRead
+		return d, nil
+	}
+	return loadDumpStream(br, inputSize(r))
+}
+
+// inputSize reports the total remaining bytes of r when it is a
+// length-aware in-memory reader (bytes.Reader, bytes.Buffer,
+// strings.Reader), or -1 when unknown. File-backed loads pass the stat
+// size instead. The decoder uses it to reject headers whose declared
+// element counts could not possibly fit the input, before allocating.
+func inputSize(r io.Reader) int64 {
+	if l, ok := r.(interface{ Len() int }); ok {
+		return int64(l.Len())
+	}
+	return -1
+}
+
+// alignedImage returns data, copied to a fresh buffer in the (practically
+// impossible) case its base is not 8-byte aligned, so the v3 word views
+// are always safe.
+func alignedImage(data []byte) []byte {
+	if len(data) == 0 || uintptr(unsafe.Pointer(&data[0]))%8 == 0 {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// loadDumpStream decodes a version-1 or version-2 record stream. remain
+// is the total input size in bytes when known (file size or in-memory
+// length), -1 otherwise.
+func loadDumpStream(br *bufio.Reader, remain int64) (*Dump, error) {
 	crc := crc32.NewIEEE()
-	dec := decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc}
+	dec := decoder{r: br, crc: crc, remain: remain}
 
 	if m := dec.u32(); dec.err == nil && m != magic {
 		return nil, fmt.Errorf("storage: bad magic %#x", m)
@@ -146,36 +239,39 @@ func LoadDump(r io.Reader) (*Dump, error) {
 			}
 		}
 	}
+	d.Source = LoadSource{Format: int(v), Mode: LoadModeDecode, Bytes: remain}
 	return d, nil
 }
 
-// SaveDumpFile writes the dump to path atomically.
+// SaveDumpFile writes a version-2 dump to path atomically and durably
+// (temp file, fsync, rename, parent-directory fsync). SaveDumpFileV3
+// writes the mmap-able version-3 format.
 func SaveDumpFile(path string, d *Dump) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := SaveDump(f, d); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWriteFile(path, func(w io.Writer) error { return SaveDump(w, d) })
 }
 
-// LoadDumpFile reads a dump from path.
+// LoadDumpFile reads a dump from path, auto-detecting its version.
+// Version-3 dumps are memory-mapped where the platform supports it
+// (check Dump.Source.Mode), so loading is near-instant and the caller
+// must keep the returned Dump's mapping alive — see Dump.Close.
 func LoadDumpFile(path string) (*Dump, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadDump(f)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err == nil && isV3Header(head[:]) {
+		return loadDumpFileV3(f, st.Size())
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return loadDumpStream(bufio.NewReaderSize(f, 1<<20), st.Size())
 }
 
 // writeGraphPayload emits the version-1 body (graph arrays + weights).

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package storage
+
+// syncDir is a no-op where directory fsync is unsupported (e.g. Windows,
+// whose rename path has different durability semantics).
+func syncDir(string) error { return nil }

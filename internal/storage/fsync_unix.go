@@ -1,0 +1,17 @@
+//go:build unix
+
+package storage
+
+import "os"
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable — without it, a crash right after os.Rename can leave the
+// target missing or pointing at a truncated inode.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/text"
+)
+
+// FuzzLoadDump throws arbitrary bytes at every decoder generation (v1
+// stream via Load, v2 stream and v3 image via LoadDump, plus the
+// file-backed mmap path via LoadDumpFile): none may panic, over-allocate
+// against a tiny input, or accept a corrupted image whose header lies.
+// Seeds cover valid dumps of each version and characteristic mutations.
+func FuzzLoadDump(f *testing.F) {
+	d := sampleDumpForFuzz(f)
+
+	var v1, v2, v3 bytes.Buffer
+	if err := Save(&v1, d.Name, d.Graph, d.Weights); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveDump(&v2, d); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveDumpV3(&v3, d); err != nil {
+		f.Fatal(err)
+	}
+
+	for _, seed := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
+		f.Add(seed)
+		if len(seed) > 16 {
+			f.Add(seed[:len(seed)/2]) // truncation
+			flipped := append([]byte(nil), seed...)
+			flipped[len(flipped)/3] ^= 0x40 // bit flip
+			f.Add(flipped)
+			huge := append([]byte(nil), seed...)
+			for i := 16; i < 24 && i < len(huge); i++ {
+				huge[i] = 0xff // absurd count in the header region
+			}
+			f.Add(huge)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("WSKB"))
+
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := LoadDump(bytes.NewReader(data)); err == nil {
+			d.Close()
+		}
+		if _, _, _, err := Load(bytes.NewReader(data)); err != nil {
+			_ = err
+		}
+		// The file-backed path takes the mmap branch for v3 images.
+		path := filepath.Join(dir, "fuzz.wskb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if d, err := LoadDumpFile(path); err == nil {
+			assertDumpUsable(t, d)
+			d.Close()
+		}
+		_ = VerifyDump(data)
+	})
+}
+
+// sampleDumpForFuzz mirrors sampleDump without *testing.T (fuzz setup gets
+// a *testing.F).
+func sampleDumpForFuzz(f *testing.F) *Dump {
+	f.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("SQL", "query language")
+	b.AddNode("SPARQL", "RDF query language")
+	b.AddNode("Query language", "")
+	b.AddEdgeNamed(0, 2, "instance of")
+	b.AddEdgeNamed(1, 2, "instance of")
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return &Dump{
+		Name:      "fuzz-kb",
+		Graph:     g,
+		Weights:   []float64{0.25, 0.5, 1},
+		AvgDist:   3.68,
+		Deviation: 0.98,
+		Index:     text.BuildIndex(g),
+	}
+}
+
+// assertDumpUsable touches every array a loaded dump exposes, so an
+// accepted-but-inconsistent dump faults under the fuzzer instead of in a
+// search kernel later.
+func assertDumpUsable(t *testing.T, d *Dump) {
+	t.Helper()
+	g := d.Graph
+	n := g.NumNodes()
+	if len(d.Weights) != n && d.Weights != nil {
+		t.Fatalf("%d weights for %d nodes", len(d.Weights), n)
+	}
+	for v := 0; v < n; v++ {
+		_ = g.Label(int32(v))
+		_ = g.Description(int32(v))
+		dsts, _ := g.OutEdges(int32(v))
+		for _, to := range dsts {
+			if to < 0 || int(to) >= n {
+				t.Fatalf("edge to %d of %d", to, n)
+			}
+		}
+		srcs, _ := g.InEdges(int32(v))
+		for _, from := range srcs {
+			if from < 0 || int(from) >= n {
+				t.Fatalf("edge from %d of %d", from, n)
+			}
+		}
+	}
+	if d.Index != nil {
+		names, postings := d.Index.Export()
+		for i := range names {
+			for _, p := range postings[i] {
+				if p < 0 || int(p) >= n {
+					t.Fatalf("posting %d of %d nodes", p, n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the page cache
+// backs the dump directly: startup touches no graph pages, and graphs
+// larger than RAM page in on demand. The returned release function is
+// stored in the mapping and invoked by Dump.Close.
+func mmapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size <= 0 || size > int64(^uint(0)>>1) {
+		return nil, nil, fmt.Errorf("storage: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: mmap: %w", err)
+	}
+	return data, syscall.Munmap, nil
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"wikisearch/internal/graph"
 )
@@ -59,8 +60,11 @@ func Save(w io.Writer, name string, g *graph.Graph, weights []float64) error {
 // every array bound, the CSR invariants and the CRC trailer.
 func Load(r io.Reader) (name string, g *graph.Graph, weights []float64, err error) {
 	crc := crc32.NewIEEE()
-	dec := decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc}
+	dec := decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc, remain: inputSize(r)}
+	return loadV1(&dec)
+}
 
+func loadV1(dec *decoder) (name string, g *graph.Graph, weights []float64, err error) {
 	if m := dec.u32(); dec.err == nil && m != magic {
 		return "", nil, nil, fmt.Errorf("storage: bad magic %#x", m)
 	}
@@ -68,13 +72,13 @@ func Load(r io.Reader) (name string, g *graph.Graph, weights []float64, err erro
 		return "", nil, nil, fmt.Errorf("storage: unsupported version %d", v)
 	}
 	name = dec.str()
-	g, weights, err = readGraphPayload(&dec)
+	g, weights, err = readGraphPayload(dec)
 	if err != nil {
 		return "", nil, nil, err
 	}
 
 	// Verify trailer: CRC of payload read so far against the stored value.
-	want := crc.Sum32()
+	want := dec.crc.Sum32()
 	var tail [4]byte
 	if _, err := io.ReadFull(dec.r, tail[:]); err != nil {
 		return "", nil, nil, fmt.Errorf("storage: missing CRC trailer: %w", err)
@@ -88,23 +92,43 @@ func Load(r io.Reader) (name string, g *graph.Graph, weights []float64, err erro
 	return name, g, weights, nil
 }
 
-// SaveFile writes the dump to path atomically (temp file + rename).
+// SaveFile writes the dump to path atomically and durably (temp file +
+// fsync + rename + parent-directory fsync).
 func SaveFile(path, name string, g *graph.Graph, weights []float64) error {
+	return atomicWriteFile(path, func(w io.Writer) error { return Save(w, name, g, weights) })
+}
+
+// atomicWriteFile writes path through a sibling temp file so readers never
+// observe a partial dump, and makes the result durable: the temp file is
+// fsynced before the rename and the parent directory after it — otherwise
+// a crash right after os.Rename can leave the "atomically written" target
+// empty or truncated. The temp file never survives a failed write.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, name, g, weights); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // LoadFile reads a dump from path.
@@ -114,7 +138,13 @@ func LoadFile(path string) (string, *graph.Graph, []float64, error) {
 		return "", nil, nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	st, err := f.Stat()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	crc := crc32.NewIEEE()
+	dec := decoder{r: bufio.NewReaderSize(f, 1<<20), crc: crc, remain: st.Size()}
+	return loadV1(&dec)
 }
 
 type encoder struct {
@@ -166,7 +196,32 @@ type decoder struct {
 	crc hash.Hash32
 	err error
 	buf [8]byte
+	// remain is the number of input bytes left when the total input size
+	// is known (file-backed and in-memory loads), -1 when it is not. It
+	// lets need() reject declared section sizes that cannot fit the file
+	// before anything is allocated.
+	remain int64
 }
+
+// need checks that n more bytes can still be present in the input. It is
+// called with a section's declared byte size before decoding it, so a
+// crafted header cannot drive allocations beyond the real file size.
+func (d *decoder) need(n int64) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.remain >= 0 && n > d.remain {
+		d.err = fmt.Errorf("storage: declared %d bytes with %d left in file", n, d.remain)
+		return false
+	}
+	return true
+}
+
+// allocChunk caps the initial capacity of decoded arrays (in elements):
+// slices grow by append as records actually arrive, so allocation is
+// proportional to real input even when the input size is unknown and a
+// corrupt header declares a huge count.
+const allocChunk = 1 << 16
 
 func (d *decoder) read(n int) []byte {
 	if d.err != nil {
@@ -176,6 +231,9 @@ func (d *decoder) read(n int) []byte {
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		d.err = fmt.Errorf("storage: truncated file: %w", err)
 		return nil
+	}
+	if d.remain >= 0 {
+		d.remain -= int64(n)
 	}
 	d.crc.Write(b)
 	return b
@@ -206,44 +264,46 @@ func (d *decoder) count() int {
 }
 
 func (d *decoder) u64s(n int) []int64 {
-	if d.err != nil || n < 0 {
+	if d.err != nil || n < 0 || !d.need(int64(n)*8) {
 		return nil
 	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(d.u64())
+	out := make([]int64, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := int64(d.u64())
 		if d.err != nil {
 			return nil
 		}
+		out = append(out, v)
 	}
 	return out
 }
 
 func (d *decoder) i32s(n int) []int32 {
-	if d.err != nil || n < 0 {
+	if d.err != nil || n < 0 || !d.need(int64(n)*4) {
 		return nil
 	}
-	out := make([]int32, n)
-	for i := range out {
+	out := make([]int32, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
 		b := d.read(4)
 		if b == nil {
 			return nil
 		}
-		out[i] = int32(binary.LittleEndian.Uint32(b))
+		out = append(out, int32(binary.LittleEndian.Uint32(b)))
 	}
 	return out
 }
 
 func (d *decoder) f64s(n int) []float64 {
-	if d.err != nil || n < 0 {
+	if d.err != nil || n < 0 || !d.need(int64(n)*8) {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(d.u64())
+	out := make([]float64, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(d.u64())
 		if d.err != nil {
 			return nil
 		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -257,25 +317,34 @@ func (d *decoder) str() string {
 		d.err = fmt.Errorf("storage: string of %d bytes exceeds limit", n)
 		return ""
 	}
+	if !d.need(int64(n)) {
+		return ""
+	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		d.err = fmt.Errorf("storage: truncated string: %w", err)
 		return ""
+	}
+	if d.remain >= 0 {
+		d.remain -= int64(n)
 	}
 	d.crc.Write(b)
 	return string(b)
 }
 
 func (d *decoder) strs(n int) []string {
-	if d.err != nil || n < 0 {
+	// Each string costs at least its 4-byte length prefix, so n strings
+	// need 4n bytes — checked up front, and per-string as they decode.
+	if d.err != nil || n < 0 || !d.need(int64(n)*4) {
 		return nil
 	}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = d.str()
+	out := make([]string, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		s := d.str()
 		if d.err != nil {
 			return nil
 		}
+		out = append(out, s)
 	}
 	return out
 }
