@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wikisearch/internal/core"
+	"wikisearch/internal/trace"
 )
 
 // BatchOptions tunes the engine's shared-frontier query batching. Batching
@@ -166,6 +167,7 @@ type batchEntry struct {
 	ctx   context.Context
 	in    core.Input
 	terms []string
+	start searchStart // admission time; becomes the trace's batch-wait origin
 
 	res  *Result
 	err  error
@@ -184,11 +186,11 @@ func (b *batcher) eligible(q Query, nterms int) bool {
 // do admits a prepared query and waits for its batch to deliver. A caller
 // whose context fires stops waiting immediately; the batch still completes
 // for its other members.
-func (b *batcher) do(ctx context.Context, q Query, in core.Input, terms []string) (*Result, error) {
+func (b *batcher) do(ctx context.Context, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e := &batchEntry{q: q, ctx: ctx, in: in, terms: terms, done: make(chan struct{})}
+	e := &batchEntry{q: q, ctx: ctx, in: in, terms: terms, start: start, done: make(chan struct{})}
 	b.admit(e)
 	select {
 	case <-e.done:
@@ -362,7 +364,12 @@ func (b *batcher) run(ob *openBatch) {
 	}
 	if len(live) == 1 {
 		e := live[0]
-		e.res, e.err = b.eng.runPrepared(e.ctx, e.q, e.in, e.terms)
+		// The fallback's trace records the coalescing wait the caller paid
+		// even though no companions arrived.
+		start := e.start
+		start.waitNs = int64(wait)
+		start.solo = true
+		e.res, e.err = b.eng.runPrepared(e.ctx, e.q, e.in, e.terms, start)
 		close(e.done)
 		b.observe(BatchExecution{Queries: 1, Columns: len(e.terms), Distinct: 1, Wait: wait, Solo: true})
 		return
@@ -412,8 +419,18 @@ func (b *batcher) run(ob *openBatch) {
 	}
 
 	st := b.eng.acquireState()
+	st.SetTracing(b.eng.TracingEnabled())
+	runNs0 := trace.Now()
 	results, err := st.SearchBatch(bin, p)
+	runNs1 := trace.Now()
+	shared, dropped := st.DrainTrace(nil)
 	b.eng.releaseState(st)
+
+	// Per-group column offsets into the shared matrix, for attribution.
+	offs := make([]int, len(reps))
+	for j := 1; j < len(reps); j++ {
+		offs[j] = offs[j-1] + len(reps[j-1].terms)
+	}
 
 	for i, e := range live {
 		if err != nil {
@@ -427,6 +444,29 @@ func (b *batcher) run(ob *openBatch) {
 		} else {
 			e.res = b.eng.resolve(e.terms, results[gi[i]], 0)
 		}
+		// Every member's trace carries the whole shared run: the kernel's
+		// events verbatim (group bitmasks attribute per-group work), plus two
+		// synthetic spans — this member's own coalescing wait and the shared
+		// execution interval the kernel spans nest under.
+		g := gi[i]
+		ev := make([]trace.Event, 0, len(shared)+2)
+		ev = append(ev,
+			trace.Event{Start: e.start.ns, End: runNs0, Kind: trace.KindBatchWait,
+				Level: -1, Groups: 1 << uint(g), A: int64(len(live)), B: int64(cols)},
+			trace.Event{Start: runNs0, End: runNs1, Kind: trace.KindBatchRun,
+				Level: -1, A: int64(len(live)), B: int64(cols)})
+		ev = append(ev, shared...)
+		b.eng.collectTrace(e.ctx, e.q, e.terms, e.res, e.err, traceMeta{
+			start:        searchStart{ns: e.start.ns, t: e.start.t, waitNs: runNs0 - e.start.ns},
+			batched:      true,
+			batchQueries: len(live),
+			batchColumns: cols,
+			group:        g,
+			groupOff:     offs[g],
+			groupCols:    len(reps[g].terms),
+			events:       ev,
+			dropped:      dropped,
+		})
 		close(e.done)
 	}
 	b.observe(BatchExecution{Queries: len(live), Columns: cols, Distinct: len(reps), Wait: wait})

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch,startup or 'all' (blinks, scaling, core, batch and startup are opt-in)")
+		exp           = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch,obs,startup or 'all' (blinks, scaling, core, batch, obs and startup are opt-in)")
 		dataset       = flag.String("dataset", "wiki2017-sim", "dataset for single-dataset experiments (exp1..exp4)")
 		queries       = flag.Int("queries", 10, "queries averaged per setting (paper: 50)")
 		threads       = flag.Int("threads", 8, "Tnum for efficiency experiments (paper default: 30)")
@@ -31,7 +31,8 @@ func main() {
 		seed          = flag.Int64("seed", 1, "workload seed")
 		coreOut       = flag.String("core-out", "BENCH_core.json", "output path for the core kernel benchmark (-exp core)")
 		batchOut      = flag.String("batch-out", "BENCH_batch.json", "output path for the query-batching benchmark (-exp batch)")
-		clients       = flag.Int("clients", 32, "concurrent clients for -exp batch")
+		obsOut        = flag.String("obs-out", "BENCH_obs.json", "output path for the tracing-overhead benchmark (-exp obs)")
+		clients       = flag.Int("clients", 32, "concurrent clients for -exp batch and -exp obs")
 		startupOut    = flag.String("startup-out", "BENCH_startup.json", "output path for the cold-start benchmark (-exp startup)")
 		startupPreset = flag.String("startup-preset", "wiki2018-sim", "dataset preset for -exp startup")
 	)
@@ -231,6 +232,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *batchOut)
+	}
+	if want["obs"] { // opt-in tracing-overhead benchmark (not part of 'all')
+		fmt.Fprintln(os.Stderr, "running tracing-overhead benchmark...")
+		rep, err := bench.ObsBench(bench.ObsBenchConfig{Clients: *clients, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		show(bench.ObsBenchTable(rep))
+		if err := bench.WriteObsBench(*obsOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
 	}
 	if want["startup"] { // opt-in cold-start benchmark (not part of 'all')
 		fmt.Fprintln(os.Stderr, "running cold-start benchmark...")

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,7 +36,11 @@ func main() {
 		batchWindow = flag.Duration("batch-window", 200*time.Microsecond,
 			"coalescing window for shared-frontier query batching (<=0 disables)")
 		batchCols = flag.Int("batch-columns", 8, "max keyword columns per batch")
-		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
+		slowQuery = flag.Duration("slow-query", 500*time.Millisecond,
+			"searches slower than this get a structured slow-query log line and land in the /v1/debug/traces slow ring (<=0 disables)")
+		debugAddr = flag.String("debug-addr", "",
+			"private listen address for net/http/pprof profiling endpoints (empty disables)")
+		grace = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
 	if *kbPath == "" {
@@ -58,6 +63,7 @@ func main() {
 		CacheSize:    *cacheSize,
 		BatchWindow:  *batchWindow,
 		BatchColumns: *batchCols,
+		SlowQuery:    *slowQuery,
 		Logger:       log.Default(),
 	}
 	// The flag convention is <=0 disables; Config uses negative for that
@@ -73,6 +79,25 @@ func main() {
 	}
 	if *batchWindow <= 0 {
 		cfg.BatchWindow = -1
+	}
+	if *slowQuery <= 0 {
+		cfg.SlowQuery = -1
+	}
+	if *debugAddr != "" {
+		// pprof stays off the public mux: it leaks internals and can stall
+		// the process, so it binds its own (typically loopback) address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("wikiserve: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("wikiserve: debug listener: %v", err)
+			}
+		}()
 	}
 	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s (timeout=%v max-inflight=%d cache=%d batch-window=%v)",
 		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr,

@@ -12,6 +12,7 @@ import (
 	"wikisearch/internal/parallel"
 	"wikisearch/internal/storage"
 	"wikisearch/internal/text"
+	"wikisearch/internal/trace"
 	"wikisearch/internal/weight"
 )
 
@@ -92,6 +93,12 @@ type Engine struct {
 	// batcher, when set (EnableBatching), coalesces concurrent compatible
 	// searches into shared bottom-up expansions.
 	batcher atomic.Pointer[batcher]
+
+	// tracer retains per-query trace trees assembled from the kernel's
+	// span rings; traceOff is inverted so the zero value means tracing is
+	// on (it is cheap enough to be always-on; see SetTracing).
+	tracer   *TraceCollector
+	traceOff atomic.Bool
 
 	// dump retains the loaded dump when the engine came from LoadEngine:
 	// for a memory-mapped v3 dump the graph/weight/index arrays alias the
@@ -188,6 +195,7 @@ func LoadEngine(path string, o EngineOptions) (*Engine, error) {
 		avgDist:    d.AvgDist,
 		stddev:     d.Deviation,
 		levelCache: map[float64]*levelEntry{},
+		tracer:     trace.NewCollector(),
 		dump:       d,
 	}
 	if e.ix == nil {
@@ -213,6 +221,7 @@ func newEngineFrom(name string, g *Graph, w []float64, o EngineOptions) (*Engine
 		ix:         text.BuildIndex(g),
 		weights:    w,
 		levelCache: map[float64]*levelEntry{},
+		tracer:     trace.NewCollector(),
 	}
 	if o.AvgDistance > 0 {
 		e.avgDist = o.AvgDistance

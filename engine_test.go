@@ -239,6 +239,9 @@ func TestWarmEngineKernelAllocationFree(t *testing.T) {
 	in.Levels = eng.activationLevels(p.Alpha, p.Threads)
 	st := eng.acquireState()
 	defer eng.releaseState(st)
+	// Tracing on (the engine's always-on default): span recording is part
+	// of the guarded kernel path.
+	st.SetTracing(true)
 	if _, err := st.BottomUp(in, p); err != nil {
 		t.Fatal(err)
 	}

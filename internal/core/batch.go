@@ -6,6 +6,7 @@ import (
 
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
+	"wikisearch/internal/trace"
 )
 
 // MaxBatchQueries bounds the number of queries one state can multiplex: the
@@ -140,11 +141,16 @@ func (ss *SearchState) BottomUpBatch(bin BatchInput, p Params) error {
 	}
 	ss.ensurePool(p.Threads)
 	s := &ss.st
+	s.buf = &ss.buf
+	ss.buf.Reset()
 
-	t0 := time.Now()
+	t0 := trace.Now()
 	s.prepareBatch(bin, p, ss.pool)
-	s.prof.Phases[PhaseInit] = time.Since(t0)
+	t1 := trace.Now()
+	s.prof.Phases[PhaseInit] = time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindInit, t0, t1, -1, 0, int64(len(s.batchSources)), 0)
 	_, err := s.bottomUp()
+	ss.buf.Record(0, trace.KindBottomUp, t0, trace.Now(), -1, 0, s.prof.FrontierTotal, s.prof.EdgesScanned)
 	return err
 }
 
@@ -162,17 +168,22 @@ func (ss *SearchState) SearchBatch(bin BatchInput, p Params) ([]*Result, error) 
 	}
 	s := &ss.st
 
-	t0 := time.Now()
+	t0 := trace.Now()
 	answers := make([][]*Answer, len(s.groups))
 	for gi := range s.groups {
+		g0 := trace.Now()
 		a, err := s.topDownGroup(&s.groups[gi])
 		if err != nil {
 			s.dropBatchRefs()
 			return nil, err
 		}
 		answers[gi] = a
+		// Per-group extraction span: this work belongs to exactly one
+		// member query, unlike the shared bottom-up spans.
+		ss.buf.Record(0, trace.KindTopDown, g0, trace.Now(), -1, 1<<uint(gi),
+			int64(len(a)), int64(len(s.groups[gi].centrals)))
 	}
-	s.prof.Phases[PhaseTopDown] = time.Since(t0)
+	s.prof.Phases[PhaseTopDown] = time.Duration(trace.Now() - t0)
 
 	out := make([]*Result, len(s.groups))
 	for gi := range s.groups {

@@ -245,6 +245,8 @@ func TestBatchBottomUpAllocationFree(t *testing.T) {
 	p := Params{Threads: 4, MaxLevel: 16}
 	ss := NewSearchState()
 	defer ss.Close()
+	// Tracing on: the span record path must be allocation-free too.
+	ss.SetTracing(true)
 	for i := 0; i < 3; i++ {
 		if _, err := ss.SearchBatch(bin, p); err != nil {
 			t.Fatal(err)

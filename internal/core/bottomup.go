@@ -8,6 +8,7 @@ import (
 
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
+	"wikisearch/internal/trace"
 )
 
 // workerScratch is one worker's private expansion scratch: the frontier
@@ -108,6 +109,12 @@ type state struct {
 	expandFn        func(w, start, end int)
 	expandBatchFn   func(w, start, end int)
 	expandRefFn     func(w, start, end int)
+
+	// buf is the owning SearchState's trace buffer (nil on the one-shot
+	// state path); the bottom-up loop records per-level phase spans into
+	// ring 0 — the loop runs on the calling goroutine, the pool records the
+	// helpers' spans itself.
+	buf *trace.Buffer
 
 	prof Profile
 }
@@ -770,9 +777,15 @@ func (s *state) bottomUp() (int, error) {
 		if err := cancelled(s.p); err != nil {
 			return s.level, err
 		}
-		t0 := time.Now()
+		// lvl0/live open the level's trace span; phase timings share the
+		// trace clock so profile and spans can never disagree.
+		lvl0 := trace.Now()
+		live := uint32(s.live)
 		s.enqueueFrontiers()
-		s.prof.Phases[PhaseEnqueue] += time.Since(t0)
+		t1 := trace.Now()
+		s.prof.Phases[PhaseEnqueue] += time.Duration(t1 - lvl0)
+		front := int64(len(s.frontier))
+		s.buf.Record(0, trace.KindEnqueue, lvl0, t1, s.level, live, front, 0)
 		if len(s.frontier) == 0 {
 			// Graph exhausted for every remaining query: fewer than k
 			// Central Graphs exist.
@@ -781,6 +794,7 @@ func (s *state) bottomUp() (int, error) {
 					s.finishGroup(gi)
 				}
 			}
+			s.buf.Record(0, trace.KindLevel, lvl0, trace.Now(), s.level, live, 0, 0)
 			break
 		}
 		if s.multi {
@@ -792,13 +806,17 @@ func (s *state) bottomUp() (int, error) {
 				}
 			}
 			if s.live == 0 {
+				s.buf.Record(0, trace.KindLevel, lvl0, trace.Now(), s.level, live, front, 0)
 				break
 			}
 		}
 
-		t0 = time.Now()
+		t1 = trace.Now()
+		prevCentrals := s.centralCount()
 		s.identifyCentrals()
-		s.prof.Phases[PhaseIdentify] += time.Since(t0)
+		t2 := trace.Now()
+		s.prof.Phases[PhaseIdentify] += time.Duration(t2 - t1)
+		s.buf.Record(0, trace.KindIdentify, t1, t2, s.level, uint32(s.live), front, s.centralCount()-prevCentrals)
 		s.prof.Levels++
 		for gi := range s.groups {
 			gr := &s.groups[gi]
@@ -810,15 +828,32 @@ func (s *state) bottomUp() (int, error) {
 			}
 		}
 		if s.live == 0 {
+			s.buf.Record(0, trace.KindLevel, lvl0, trace.Now(), s.level, live, front, 0)
 			break
 		}
 
-		t0 = time.Now()
+		t2 = trace.Now()
+		prevEdges := s.prof.EdgesScanned
 		s.expand()
-		s.prof.Phases[PhaseExpand] += time.Since(t0)
+		t3 := trace.Now()
+		s.prof.Phases[PhaseExpand] += time.Duration(t3 - t2)
+		edges := s.prof.EdgesScanned - prevEdges
+		s.buf.Record(0, trace.KindExpand, t2, t3, s.level, uint32(s.live), front, edges)
+		s.buf.Record(0, trace.KindLevel, lvl0, t3, s.level, live, front, edges)
 		s.level++
 	}
 	return s.groups[0].depth, nil
+}
+
+// centralCount sums the Central Nodes collected so far across groups (a
+// handful of length reads; used to attribute per-level identification
+// counts to trace spans).
+func (s *state) centralCount() int64 {
+	var n int64
+	for gi := range s.groups {
+		n += int64(len(s.groups[gi].centrals))
+	}
+	return n
 }
 
 // cancelled reports the context error, if a context was set and fired.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wikisearch/internal/parallel"
+	"wikisearch/internal/trace"
 )
 
 // SearchState owns every allocation of the two-stage search — the
@@ -20,6 +21,12 @@ import (
 type SearchState struct {
 	st   state
 	pool *parallel.Pool
+
+	// buf is the state's trace buffer: one event ring per pool worker,
+	// recorded into during the search (when enabled) and drained by the
+	// engine afterwards. Owned here so its rings share the state's
+	// lifecycle and the warm record path never allocates.
+	buf trace.Buffer
 }
 
 // NewSearchState returns an empty reusable state. Buffers and the worker
@@ -36,21 +43,35 @@ func (ss *SearchState) Close() {
 	}
 }
 
+// SetTracing enables or disables span recording for subsequent searches on
+// this state. Rings are sized by the first search's pool setup.
+func (ss *SearchState) SetTracing(on bool) { ss.buf.SetEnabled(on) }
+
+// DrainTrace appends the events recorded by the state's last search to dst
+// and returns the extended slice plus the count lost to ring overflow.
+func (ss *SearchState) DrainTrace(dst []trace.Event) ([]trace.Event, int) {
+	return ss.buf.Drain(dst)
+}
+
 // ensurePool (re)builds the worker pool when the thread count changes; it
-// is a no-op on repeat queries with the same Tnum.
+// is a no-op on repeat queries with the same Tnum. The trace buffer is
+// (re)sized alongside so every worker has its own event ring.
 func (ss *SearchState) ensurePool(threads int) {
 	if ss.pool == nil || ss.pool.Workers() != threads {
 		if ss.pool != nil {
 			ss.pool.Close()
 		}
 		ss.pool = parallel.NewPool(threads)
+		ss.buf.Ensure(ss.pool.Workers())
+		ss.pool.SetTrace(&ss.buf)
 	}
 }
 
 // BottomUp runs parameter resolution, state preparation and the bottom-up
 // stage only, returning the depth d of the top-(k,d) problem. This is the
-// part of the search that is allocation-free on a warm state; it exists for
-// kernel benchmarks and allocation guards — Search is the real entry point.
+// part of the search that is allocation-free on a warm state — including
+// span recording when tracing is enabled; it exists for kernel benchmarks
+// and allocation guards — Search is the real entry point.
 func (ss *SearchState) BottomUp(in Input, p Params) (int, error) {
 	p = p.Defaults()
 	if err := in.Validate(); err != nil {
@@ -58,11 +79,17 @@ func (ss *SearchState) BottomUp(in Input, p Params) (int, error) {
 	}
 	ss.ensurePool(p.Threads)
 	s := &ss.st
+	s.buf = &ss.buf
+	ss.buf.Reset()
 
-	t0 := time.Now()
+	t0 := trace.Now()
 	s.prepare(in, p, ss.pool)
-	s.prof.Phases[PhaseInit] = time.Since(t0)
-	return s.bottomUp()
+	t1 := trace.Now()
+	s.prof.Phases[PhaseInit] = time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindInit, t0, t1, -1, 0, int64(len(in.Sources)), 0)
+	d, err := s.bottomUp()
+	ss.buf.Record(0, trace.KindBottomUp, t0, trace.Now(), -1, 0, s.prof.FrontierTotal, s.prof.EdgesScanned)
+	return d, err
 }
 
 // Profile returns the profile of the state's last (possibly partial)
@@ -82,13 +109,15 @@ func (ss *SearchState) Search(in Input, p Params) (*Result, error) {
 		return nil, err
 	}
 
-	t0 := time.Now()
+	t0 := trace.Now()
 	answers, err := s.topDown()
+	t1 := trace.Now()
 	if err != nil {
 		s.in = Input{}
 		return nil, err
 	}
-	s.prof.Phases[PhaseTopDown] = time.Since(t0)
+	s.prof.Phases[PhaseTopDown] = time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindTopDown, t0, t1, -1, 1, int64(len(answers)), int64(len(s.groups[0].centrals)))
 
 	res := &Result{
 		Answers:           answers,

@@ -99,6 +99,8 @@ func TestSearchPathAllocationFree(t *testing.T) {
 			p.Threads = tn
 			ss := NewSearchState()
 			defer ss.Close()
+			// Tracing on: the span record path must be allocation-free too.
+			ss.SetTracing(true)
 			for i := 0; i < 3; i++ { // warm buffers, workers and caps
 				if _, err := ss.Search(in, p); err != nil {
 					t.Fatal(err)

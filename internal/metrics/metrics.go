@@ -83,6 +83,19 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n observations of value v in one shot — how bucketed
+// sources (the runtime's histograms) are folded in without n loop
+// iterations.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.sum.add(v * float64(n))
+	h.count.Add(n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -169,6 +182,17 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	hooks    []func()
+}
+
+// AddScrapeHook registers fn to run at the start of every WritePrometheus
+// call, before the families render. Collectors whose values are snapshots
+// (the Go runtime stats) refresh themselves here, so every scrape sees
+// current numbers without a background poller.
+func (r *Registry) AddScrapeHook(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -232,6 +256,14 @@ func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *Hi
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	// Hooks run outside the lock: they update (and may lazily register)
+	// metrics through the registry themselves.
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	fams := append([]*family(nil), r.families...)
 	r.mu.Unlock()

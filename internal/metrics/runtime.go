@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+
+	rm "runtime/metrics"
+)
+
+// RuntimeCollector exports Go runtime health — goroutine count, heap size,
+// GC pause distribution and a scheduler-latency proxy — from the stdlib
+// runtime/metrics interface. It registers a scrape hook, so the numbers
+// refresh on every /metrics scrape with no background goroutine.
+//
+// The runtime's pause and latency metrics are cumulative histograms; the
+// collector diffs bucket counts between scrapes and folds the deltas into
+// the registry's own histograms (each delta observed at its bucket's upper
+// bound, so quantiles read pessimistically).
+type RuntimeCollector struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcPause    *Histogram
+	schedLat   *Histogram
+
+	mu        sync.Mutex
+	samples   []rm.Sample
+	prevPause []uint64
+	prevSched []uint64
+}
+
+// runtimeBuckets span the microsecond GC pauses through scheduler stalls
+// in deadline territory.
+var runtimeBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1,
+}
+
+// NewRuntimeCollector registers the runtime health metrics in r and hooks
+// their refresh into its scrapes.
+func NewRuntimeCollector(r *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{
+		goroutines: r.Gauge("wikisearch_go_goroutines",
+			"Live goroutines at scrape time."),
+		heapBytes: r.Gauge("wikisearch_go_heap_bytes",
+			"Bytes of live heap objects at scrape time."),
+		gcPause: r.Histogram("wikisearch_go_gc_pause_seconds",
+			"Distribution of stop-the-world GC pauses since process start.",
+			runtimeBuckets),
+		schedLat: r.Histogram("wikisearch_go_sched_latency_seconds",
+			"Distribution of time goroutines spent runnable before running (scheduler latency proxy).",
+			runtimeBuckets),
+		samples: []rm.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/pauses:seconds"},
+			{Name: "/sched/latencies:seconds"},
+		},
+	}
+	r.AddScrapeHook(c.refresh)
+	return c
+}
+
+// refresh re-reads the runtime metrics; called by the registry on scrape.
+func (c *RuntimeCollector) refresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rm.Read(c.samples)
+	for i := range c.samples {
+		s := &c.samples[i]
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == rm.KindUint64 {
+				c.goroutines.Set(int64(s.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				c.heapBytes.Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				c.prevPause = diffHistogram(c.gcPause, s.Value.Float64Histogram(), c.prevPause)
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				c.prevSched = diffHistogram(c.schedLat, s.Value.Float64Histogram(), c.prevSched)
+			}
+		}
+	}
+}
+
+// diffHistogram folds the bucket-count deltas of a cumulative runtime
+// histogram since the previous snapshot into h and returns the updated
+// snapshot. Each delta is observed at its bucket's finite upper bound.
+func diffHistogram(h *Histogram, cur *rm.Float64Histogram, prev []uint64) []uint64 {
+	if cur == nil {
+		return prev
+	}
+	if len(prev) < len(cur.Counts) {
+		prev = append(prev, make([]uint64, len(cur.Counts)-len(prev))...)
+	}
+	for i, n := range cur.Counts {
+		if d := n - prev[i]; n > prev[i] && d > 0 {
+			// Buckets has len(Counts)+1 boundaries; the outermost may be
+			// ±Inf. Prefer the upper bound, fall back to the lower.
+			v := cur.Buckets[i+1]
+			if math.IsInf(v, 0) {
+				v = cur.Buckets[i]
+			}
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				h.ObserveN(v, d)
+			}
+		}
+		prev[i] = n
+	}
+	return prev
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"wikisearch/internal/trace"
 )
 
 // Pool is a reusable fork/join worker pool with dynamic scheduling, the Go
@@ -36,13 +38,20 @@ type Pool struct {
 	work    chan *poolTask // parked helpers receive the phase descriptor
 	done    chan struct{}  // helpers send one token per processed descriptor
 	task    poolTask       // reused phase descriptor: no per-phase allocation
+
+	// tr, when set (SetTrace), receives per-phase spans: each helper records
+	// its busy time into its own ring, and the coordinator records its own
+	// busy span plus the join wait — the chunk-scheduling stall signal.
+	tr *trace.Buffer
 }
 
 // poolTask describes one fork/join phase. Exactly one of the fn* fields (or
-// thunks) is set; next hands out dynamic-scheduling chunks.
+// thunks) is set; next hands out dynamic-scheduling chunks. tr carries the
+// pool's trace buffer to the helpers (nil when tracing is off).
 type poolTask struct {
 	n     int
 	chunk int
+	tr    *trace.Buffer
 	next  atomic.Int64
 
 	fnIdx    func(i int)
@@ -124,7 +133,15 @@ func (p *Pool) start() {
 // ForChunksWorker bodies for per-worker scratch indexing.
 func poolWorker(w int, work <-chan *poolTask, done chan<- struct{}) {
 	for t := range work {
-		t.run(w)
+		if t.tr.On() {
+			t0 := trace.Now()
+			t.run(w)
+			// The ring is the helper's own and the done token below
+			// publishes the write to the drain: single-writer, race-free.
+			t.tr.Record(w, trace.KindPoolWork, t0, trace.Now(), -1, 0, int64(t.n), 0)
+		} else {
+			t.run(w)
+		}
 		done <- struct{}{}
 	}
 }
@@ -154,17 +171,38 @@ func (p *Pool) dispatch(helpers int) {
 		if !p.started {
 			p.start()
 		}
+		p.task.tr = p.tr
 		for i := 0; i < helpers; i++ {
 			p.work <- &p.task
 		}
-		p.task.run(0)
-		for i := 0; i < helpers; i++ {
-			<-p.done
+		if p.tr.On() {
+			t0 := trace.Now()
+			p.task.run(0)
+			own := trace.Now()
+			for i := 0; i < helpers; i++ {
+				<-p.done
+			}
+			p.tr.Record(0, trace.KindPoolWork, t0, own, -1, 0, int64(p.task.n), int64(helpers))
+			p.tr.Record(0, trace.KindPoolJoin, own, trace.Now(), -1, 0, int64(p.task.n), int64(helpers))
+		} else {
+			p.task.run(0)
+			for i := 0; i < helpers; i++ {
+				<-p.done
+			}
 		}
 	} else {
 		p.task.run(0)
 	}
 	p.task.clear()
+}
+
+// SetTrace installs (or, with nil, removes) the per-worker trace buffer the
+// pool's phases record spans into. The buffer must have at least Workers()
+// rings (trace.Buffer.Ensure); the pool's owner wires both.
+func (p *Pool) SetTrace(tr *trace.Buffer) {
+	p.mu.Lock()
+	p.tr = tr
+	p.mu.Unlock()
 }
 
 // chunkFor picks a dynamic-scheduling chunk size: small enough to balance

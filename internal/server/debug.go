@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"wikisearch"
+	"wikisearch/internal/trace"
+)
+
+// debugTracesResponse is the GET /v1/debug/traces payload: the most recent
+// traces plus the retained slow ones, newest first.
+type debugTracesResponse struct {
+	SlowThresholdMs float64                  `json:"slow_threshold_ms"`
+	Recent          []*wikisearch.QueryTrace `json:"recent"`
+	Slow            []*wikisearch.QueryTrace `json:"slow"`
+}
+
+// handleDebugTraces serves the trace capture rings. Traces are summaries
+// here (events elided); fetch one by id from /v1/debug/trace for the tree.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
+	tr := s.eng.Traces()
+	if tr == nil {
+		s.v1Error(w, http.StatusNotFound, "unavailable", "tracing is not available on this engine")
+		return
+	}
+	resp := debugTracesResponse{
+		SlowThresholdMs: float64(tr.SlowThreshold()) / float64(time.Millisecond),
+		Recent:          tr.Recent(),
+		Slow:            tr.Slow(),
+	}
+	if resp.Recent == nil {
+		resp.Recent = []*wikisearch.QueryTrace{}
+	}
+	if resp.Slow == nil {
+		resp.Slow = []*wikisearch.QueryTrace{}
+	}
+	s.json(w, http.StatusOK, resp)
+}
+
+// debugTraceResponse is the GET /v1/debug/trace payload: the trace summary
+// plus its assembled span tree.
+type debugTraceResponse struct {
+	Trace *wikisearch.QueryTrace `json:"trace"`
+	Tree  *wikisearch.TraceSpan  `json:"tree"`
+}
+
+// handleDebugTrace serves one trace by id (or by request id via req=).
+// format=chrome returns the Chrome trace_event JSON loadable in
+// chrome://tracing and Perfetto.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.eng.Traces()
+	if tr == nil {
+		s.v1Error(w, http.StatusNotFound, "unavailable", "tracing is not available on this engine")
+		return
+	}
+	var qt *wikisearch.QueryTrace
+	switch {
+	case r.URL.Query().Get("id") != "":
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			s.v1Error(w, http.StatusBadRequest, "bad_request", "id must be an integer")
+			return
+		}
+		qt = tr.Get(id)
+	case r.URL.Query().Get("req") != "":
+		id, err := strconv.ParseUint(r.URL.Query().Get("req"), 10, 64)
+		if err != nil {
+			s.v1Error(w, http.StatusBadRequest, "bad_request", "req must be an integer")
+			return
+		}
+		qt = tr.FindRequest(id)
+	default:
+		s.v1Error(w, http.StatusBadRequest, "bad_request", "missing id or req parameter")
+		return
+	}
+	if qt == nil {
+		s.v1Error(w, http.StatusNotFound, "not_found", "no such trace (the capture rings are bounded; it may have aged out)")
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := qt.WriteChrome(w); err != nil {
+			s.log.Printf("server: chrome trace: %v", err)
+		}
+		return
+	}
+	s.json(w, http.StatusOK, debugTraceResponse{Trace: qt, Tree: qt.Tree()})
+}
+
+// observeTrace is installed as the trace collector's observer when the
+// slow-query log is enabled: any search over the threshold gets one
+// structured line with its identity, knobs, batch occupancy and per-phase
+// breakdown — enough to diagnose it without replaying.
+func (s *Server) observeTrace(qt *wikisearch.QueryTrace) {
+	if qt.Duration < s.cfg.SlowQuery {
+		return
+	}
+	s.met.slowQueries.Inc()
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	s.slog.Warn("slow query",
+		"trace", qt.ID,
+		"req", qt.RequestID,
+		"query", qt.Query,
+		"terms", qt.Terms,
+		"variant", qt.Variant,
+		"k", qt.TopK,
+		"alpha", qt.Alpha,
+		"lambda", qt.Lambda,
+		"duration_ms", ms(int64(qt.Duration)),
+		"answers", qt.Answers,
+		"err", qt.Err,
+		"batched", qt.Batched,
+		"batch_queries", qt.BatchQueries,
+		"batch_columns", qt.BatchColumns,
+		"batch_wait_ms", ms(int64(qt.BatchWait)),
+		"init_ms", ms(qt.PhaseNs(trace.KindInit)),
+		"enqueue_ms", ms(qt.PhaseNs(trace.KindEnqueue)),
+		"identify_ms", ms(qt.PhaseNs(trace.KindIdentify)),
+		"expand_ms", ms(qt.PhaseNs(trace.KindExpand)),
+		"topdown_ms", ms(qt.PhaseNs(trace.KindTopDown)),
+	)
+}

@@ -36,10 +36,15 @@ type serverMetrics struct {
 
 	kbMappedBytes *metrics.Gauge      // live KB mapping size (0 unless mmap-loaded)
 	kbLoadMode    *metrics.CounterVec // 1 on the label of the load mode in use
+
+	slowQueries *metrics.Counter // searches over the slow-query threshold
 }
 
 func newServerMetrics() *serverMetrics {
 	r := metrics.NewRegistry()
+	// Go runtime health (goroutines, heap, GC pauses, scheduler latency)
+	// refreshes itself on every scrape via the registry's hook.
+	metrics.NewRuntimeCollector(r)
 	return &serverMetrics{
 		reg: r,
 		requests: r.CounterVec("wikisearch_http_requests_total",
@@ -79,6 +84,8 @@ func newServerMetrics() *serverMetrics {
 			"Bytes of the knowledge-base dump held in a live memory mapping (0 unless mmap-loaded)."),
 		kbLoadMode: r.CounterVec("wikisearch_kb_load_info",
 			"How the knowledge base got into memory: 1 on the mode in use (decode, mmap, read, memory).", "mode"),
+		slowQueries: r.Counter("wikisearch_slow_queries_total",
+			"Searches whose end-to-end engine time exceeded the slow-query threshold."),
 	}
 }
 

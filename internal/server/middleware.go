@@ -2,10 +2,13 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"wikisearch"
 )
 
 // statusWriter records the status code and byte count of a response.
@@ -44,18 +47,21 @@ func (s *Server) instrument(h http.Handler, search bool) http.Handler {
 	return s.withObservability(h)
 }
 
-// withObservability assigns a request ID, recovers panics, counts the
-// request by status code and writes the access log line.
+// withObservability assigns a request ID (threaded into the context so the
+// engine's traces link back to the request), recovers panics, counts the
+// request by status code and writes the structured access log line.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.nextReqID.Add(1)
+		r = r.WithContext(wikisearch.WithRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
 		sw.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.panics.Inc()
-				s.log.Printf("server: req=%d panic: %v\n%s", id, rec, debug.Stack())
+				s.slog.Error("panic recovered",
+					"req", id, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				if sw.code == 0 {
 					if isV1(r) {
 						s.v1Error(sw, http.StatusInternalServerError, "internal", "internal server error")
@@ -71,9 +77,13 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				code = 499
 			}
 			s.met.countRequest(code)
-			s.log.Printf("server: req=%d %s %s %d %dB %v",
-				id, r.Method, r.URL.RequestURI(), code, sw.bytes,
-				time.Since(start).Round(time.Microsecond))
+			s.slog.Info("request",
+				"req", id,
+				"method", r.Method,
+				"uri", r.URL.RequestURI(),
+				"status", code,
+				"bytes", sw.bytes,
+				"duration", time.Since(start).Round(time.Microsecond))
 		}()
 		next.ServeHTTP(sw, r)
 	})

@@ -37,6 +37,7 @@ import (
 	"html"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -66,7 +67,14 @@ type Config struct {
 	// BatchColumns caps the total keyword columns of one batch (default 8,
 	// the engine's word-wide fast path).
 	BatchColumns int
+	// SlowQuery is the threshold above which a search gets a structured
+	// slow-query log line with its per-phase breakdown and batch occupancy
+	// (default 500ms; negative disables). The same threshold selects which
+	// traces the /v1/debug/traces slow ring retains.
+	SlowQuery time.Duration
 	// Logger receives access log lines and panics (default log.Default()).
+	// Structured log output (access lines, slow queries) goes to this
+	// logger's writer through log/slog.
 	Logger *log.Logger
 }
 
@@ -79,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 500 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -94,6 +105,7 @@ type Server struct {
 	cfg       Config
 	mux       *http.ServeMux
 	log       *log.Logger
+	slog      *slog.Logger // structured twin of log: access lines, slow queries
 	met       *serverMetrics
 	cache     *resultCache  // nil when disabled
 	sem       chan struct{} // nil when unlimited
@@ -114,6 +126,8 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 		cfg: cfg,
 		mux: http.NewServeMux(),
 		log: cfg.Logger,
+		slog: slog.New(slog.NewTextHandler(cfg.Logger.Writer(),
+			&slog.HandlerOptions{Level: slog.LevelInfo})),
 		met: newServerMetrics(),
 	}
 	if cfg.CacheSize > 0 {
@@ -124,6 +138,14 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 	}
 	eng.SetSearchObserver(s.met.observeSearch)
 	s.met.observeLoad(eng.LoadInfo())
+	if tr := eng.Traces(); tr != nil {
+		if cfg.SlowQuery > 0 {
+			tr.SetSlowThreshold(cfg.SlowQuery)
+			tr.SetObserver(s.observeTrace)
+		} else {
+			tr.SetSlowThreshold(1 << 62) // slow ring effectively off
+		}
+	}
 	if cfg.BatchWindow >= 0 {
 		eng.EnableBatching(wikisearch.BatchOptions{
 			Window:     cfg.BatchWindow,
@@ -137,6 +159,8 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 	s.mux.Handle("GET /{$}", s.instrument(http.HandlerFunc(s.handleIndex), true))
 	s.mux.Handle("GET /stats", s.instrument(http.HandlerFunc(s.handleStats), false))
 	s.mux.Handle("GET /metrics", s.instrument(s.met.reg.Handler(), false))
+	s.mux.Handle("GET /v1/debug/traces", s.instrument(http.HandlerFunc(s.handleDebugTraces), false))
+	s.mux.Handle("GET /v1/debug/trace", s.instrument(http.HandlerFunc(s.handleDebugTrace), false))
 	s.mux.Handle("GET /healthz", s.instrument(http.HandlerFunc(
 		func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)

@@ -1,0 +1,22 @@
+package trace
+
+import "context"
+
+// reqIDKey is the context key carrying the serving layer's request ID.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the HTTP request ID, so the
+// engine can stamp the traces it collects and the debug endpoints can
+// correlate handler spans with engine spans.
+func WithRequestID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or 0. Nil-safe.
+func RequestIDFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(reqIDKey{}).(uint64)
+	return id
+}

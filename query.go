@@ -219,20 +219,34 @@ func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	start := startNow()
 	switch q.Variant {
 	case ExactGST:
-		return e.searchGST(q)
+		res, err := e.searchGST(q)
+		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start})
+		return res, err
 	case BANKS:
-		return e.searchBanks(q)
+		res, err := e.searchBanks(q)
+		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start})
+		return res, err
 	}
 	in, terms, err := e.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
 	if b := e.batcher.Load(); b != nil && b.eligible(q, len(terms)) {
-		return b.do(ctx, q, in, terms)
+		return b.do(ctx, q, in, terms, start)
 	}
-	return e.runPrepared(ctx, q, in, terms)
+	return e.runPrepared(ctx, q, in, terms, start)
+}
+
+// termsOf extracts a result's normalized terms for trace collection (nil on
+// error results).
+func termsOf(res *Result) []string {
+	if res == nil {
+		return nil
+	}
+	return res.Terms
 }
 
 // params resolves q's knobs into core parameters: defaults applied, thread
@@ -259,8 +273,8 @@ func (e *Engine) params(q Query) core.Params {
 
 // runPrepared executes a prepared Central Graph query solo — the path every
 // search took before batching, and the batcher's fallback for batches of
-// one.
-func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms []string) (*Result, error) {
+// one (which threads its coalescing wait through start).
+func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
 	p := e.params(q)
 	if ctx != nil && ctx != context.Background() {
 		p.Ctx = ctx
@@ -275,11 +289,14 @@ func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms 
 		res      *core.Result
 		transfer float64
 		err      error
+		m        = traceMeta{start: start, groupCols: len(in.Sources)}
 	)
 	switch q.Variant {
 	case CPUPar, Sequential:
 		st := e.acquireState()
+		st.SetTracing(e.TracingEnabled())
 		res, err = st.Search(in, p)
+		m.events, m.dropped = st.DrainTrace(nil)
 		e.releaseState(st)
 	case CPUParD:
 		res, err = core.SearchDynamic(in, p)
@@ -298,9 +315,12 @@ func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms 
 		return nil, fmt.Errorf("wikisearch: unknown variant %d", q.Variant)
 	}
 	if err != nil {
+		e.collectTrace(ctx, q, terms, nil, err, m)
 		return nil, err
 	}
-	return e.resolve(terms, res, transfer), nil
+	out := e.resolve(terms, res, transfer)
+	e.collectTrace(ctx, q, terms, out, nil, m)
+	return out, nil
 }
 
 // prepare resolves the raw query into a core.Input (minus activation
