@@ -10,6 +10,7 @@ import (
 	"wikisearch/internal/core"
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
+	"wikisearch/internal/shard"
 	"wikisearch/internal/storage"
 	"wikisearch/internal/text"
 	"wikisearch/internal/trace"
@@ -93,6 +94,20 @@ type Engine struct {
 	// batcher, when set (EnableBatching), coalesces concurrent compatible
 	// searches into shared bottom-up expansions.
 	batcher atomic.Pointer[batcher]
+
+	// sharding, when set (EnableSharding), routes CPU-Par/Sequential
+	// searches through the in-process sharded runtime: edge-cut CSR
+	// partitions, per-level frontier exchange, monotone global top-k merge.
+	// shardDumps (guarded by mu) retains the per-shard segment dumps when
+	// the topology came off disk (EnableShardingFrom); their mappings back
+	// the shard subgraphs and are closed on the next setSharding.
+	// shardCache (guarded by mu) keeps in-memory coordinators per shard
+	// count so toggling sharding on/off or between counts reuses the
+	// already-built partition and warm Run pools instead of repartitioning;
+	// Close releases every cached coordinator.
+	sharding   atomic.Pointer[shard.Coordinator]
+	shardDumps []*storage.Dump
+	shardCache map[int]*shard.Coordinator
 
 	// tracer retains per-query trace trees assembled from the kernel's
 	// span rings; traceOff is inverted so the zero value means tracing is
@@ -278,6 +293,10 @@ func (e *Engine) LoadInfo() LoadInfo {
 // and index views are invalid. Close on an in-memory or v2-loaded engine
 // is a no-op; it is idempotent.
 func (e *Engine) Close() error {
+	// Release the sharded runtime's worker pools and segment mappings,
+	// then every cached coordinator.
+	e.setSharding(nil, nil)
+	e.closeShardCache()
 	if e.dump == nil {
 		return nil
 	}

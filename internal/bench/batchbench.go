@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -76,10 +75,10 @@ type BatchBenchPoint struct {
 // BatchBenchReport is the benchmark outcome, serialized to BENCH_batch.json
 // by `benchrunner -exp batch`.
 type BatchBenchReport struct {
-	Config     BatchBenchConfig  `json:"config"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Queries    int               `json:"distinct_queries"`
-	Points     []BatchBenchPoint `json:"points"`
+	Config  BatchBenchConfig  `json:"config"`
+	Env     RunEnv            `json:"env"`
+	Queries int               `json:"distinct_queries"`
+	Points  []BatchBenchPoint `json:"points"`
 	// Speedup is batched QPS over solo QPS.
 	Speedup float64 `json:"speedup"`
 }
@@ -206,7 +205,11 @@ func BatchBench(cfg BatchBenchConfig) (*BatchBenchReport, error) {
 		}
 	}
 
-	rep := &BatchBenchReport{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0), Queries: len(pool)}
+	rep := &BatchBenchReport{
+		Config:  cfg,
+		Env:     CaptureEnv(cfg.Preset, env.KB.Graph.NumNodes(), env.KB.Graph.NumEdges()),
+		Queries: len(pool),
+	}
 	sched := batchBenchSchedule(cfg.Ops, len(pool), cfg.Skew, cfg.Seed)
 
 	// Each side runs twice and the faster pass is kept: the workload is

@@ -91,10 +91,10 @@ type CoreBenchSpeedup struct {
 // CoreBenchReport is the full benchmark outcome, serialized to
 // BENCH_core.json by `make bench`.
 type CoreBenchReport struct {
-	Config     CoreBenchConfig    `json:"config"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Points     []CoreBenchPoint   `json:"points"`
-	Speedups   []CoreBenchSpeedup `json:"speedups"`
+	Config   CoreBenchConfig    `json:"config"`
+	Env      RunEnv             `json:"env"`
+	Points   []CoreBenchPoint   `json:"points"`
+	Speedups []CoreBenchSpeedup `json:"speedups"`
 }
 
 var kernelNames = map[core.KernelKind]string{
@@ -138,7 +138,7 @@ func CoreBench(cfg CoreBenchConfig) (*CoreBenchReport, error) {
 		weights[i] = rng.Float64()
 	}
 
-	rep := &CoreBenchReport{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &CoreBenchReport{Config: cfg, Env: CaptureEnv("ring-window", g.NumNodes(), g.NumEdges())}
 	flatAt := map[[2]int]*CoreBenchPoint{} // (q, tnum) → flat point
 
 	for _, q := range cfg.Qs {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -64,10 +63,10 @@ type ObsBenchPoint struct {
 // ObsBenchReport is the benchmark outcome, serialized to BENCH_obs.json by
 // `benchrunner -exp obs`.
 type ObsBenchReport struct {
-	Config     ObsBenchConfig  `json:"config"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Queries    int             `json:"distinct_queries"`
-	Points     []ObsBenchPoint `json:"points"`
+	Config  ObsBenchConfig  `json:"config"`
+	Env     RunEnv          `json:"env"`
+	Queries int             `json:"distinct_queries"`
+	Points  []ObsBenchPoint `json:"points"`
 	// OverheadPct is how much QPS tracing costs: (off−on)/off × 100.
 	// Negative values are measurement noise in tracing's favor.
 	OverheadPct float64 `json:"overhead_pct"`
@@ -96,7 +95,11 @@ func ObsBench(cfg ObsBenchConfig) (*ObsBenchReport, error) {
 		}
 	}
 
-	rep := &ObsBenchReport{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0), Queries: len(pool)}
+	rep := &ObsBenchReport{
+		Config:  cfg,
+		Env:     CaptureEnv(cfg.Preset, env.KB.Graph.NumNodes(), env.KB.Graph.NumEdges()),
+		Queries: len(pool),
+	}
 	sched := batchBenchSchedule(cfg.Ops, len(pool), cfg.Skew, cfg.Seed)
 
 	// The two sides alternate pass by pass and each keeps its fastest, so

@@ -1,0 +1,35 @@
+package bench
+
+import "runtime"
+
+// RunEnv records the toolchain, machine shape and dataset a benchmark ran
+// on. Every BENCH_*.json report embeds one, so numbers captured on
+// different checkouts or machines stay comparable at a glance instead of
+// silently mixing core counts or graph sizes.
+type RunEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	// Dataset/Nodes/Edges identify the measured graph; Dataset is the
+	// preset name ("wiki2017-sim", ...) or a synthetic-workload label.
+	Dataset string `json:"dataset,omitempty"`
+	Nodes   int    `json:"nodes,omitempty"`
+	Edges   int    `json:"edges,omitempty"`
+}
+
+// CaptureEnv snapshots the current process environment plus the dataset
+// identity for stamping into a benchmark report.
+func CaptureEnv(dataset string, nodes, edges int) RunEnv {
+	return RunEnv{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		Dataset:    dataset,
+		Nodes:      nodes,
+		Edges:      edges,
+	}
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wikisearch"
+)
+
+// ShardBenchConfig sizes the sharded-search benchmark: the same wiki-sim
+// efficiency workload replays through the engine once on the solo path and
+// once per shard count, and the report compares sustained QPS plus the
+// coordinator's per-level exchange cost. Both sides get the same Tnum
+// thread budget, so the comparison is equal-core: the measured difference
+// is what edge-cut partitioning buys (or costs) at identical parallelism,
+// not a parallelism shift.
+type ShardBenchConfig struct {
+	Preset  string `json:"preset"`  // dataset preset (default "wiki2017-sim")
+	Shards  []int  `json:"shards"`  // shard counts swept (default 2, 4)
+	Knum    int    `json:"knum"`    // keywords per query (default 4)
+	Queries int    `json:"queries"` // distinct workload queries (default 10)
+	Rounds  int    `json:"rounds"`  // workload replays per measured pass (default 4)
+	Threads int    `json:"threads"` // Tnum per search, both sides (default 2)
+	TopK    int    `json:"topk"`    // answers requested (default 20)
+	Seed    int64  `json:"seed"`    // workload seed (default 1)
+	Passes  int    `json:"passes"`  // interleaved passes, fastest kept (default 3)
+}
+
+// Defaults fills unset fields.
+func (c ShardBenchConfig) Defaults() ShardBenchConfig {
+	if c.Preset == "" {
+		c.Preset = "wiki2017-sim"
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{2, 4}
+	}
+	if c.Knum <= 0 {
+		c.Knum = 4
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Passes <= 0 {
+		c.Passes = 3
+	}
+	return c
+}
+
+// ShardBenchPoint is one measured side: the solo baseline or one shard
+// count. The exchange/merge columns come from the coordinator's own
+// monotonic spans summed over the side's fastest pass, so the per-level
+// exchange cost is measured inside the engine, not inferred from wall time.
+type ShardBenchPoint struct {
+	Mode    string  `json:"mode"` // "solo" or "shards-N"
+	Shards  int     `json:"shards,omitempty"`
+	Ops     int     `json:"ops"`
+	WallMs  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup_vs_solo,omitempty"`
+	// Levels and Messages total over the pass; ExchangeMs/MergeMs are the
+	// coordinator's time applying boundary activations and merging Central
+	// Nodes, and ExchangeUsPerLevel = ExchangeMs / Levels is the headline
+	// per-BFS-level cross-shard exchange cost.
+	Levels             int64   `json:"levels,omitempty"`
+	Messages           int64   `json:"exchange_messages,omitempty"`
+	ExchangeMs         float64 `json:"exchange_ms,omitempty"`
+	ExchangeUsPerLevel float64 `json:"exchange_us_per_level,omitempty"`
+	MergeMs            float64 `json:"merge_ms,omitempty"`
+	AvgImbalance       float64 `json:"avg_imbalance,omitempty"`
+	CutEdges           int     `json:"cut_edges,omitempty"`
+}
+
+// ShardBenchReport is the benchmark outcome, serialized to BENCH_shard.json
+// by `benchrunner -exp shard`.
+type ShardBenchReport struct {
+	Config  ShardBenchConfig  `json:"config"`
+	Env     RunEnv            `json:"env"`
+	Queries int               `json:"distinct_queries"`
+	Points  []ShardBenchPoint `json:"points"`
+	// BestSpeedup is the best sharded QPS over solo QPS.
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+// shardBenchDrive replays the workload rounds times on one engine
+// configuration and returns the wall time plus the summed per-query shard
+// telemetry (zero for the solo side).
+func shardBenchDrive(eng *wikisearch.Engine, pool []wikisearch.Query, rounds int) (time.Duration, ShardBenchPoint, error) {
+	var agg ShardBenchPoint
+	var imbalance float64
+	var sharded int
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range pool {
+			res, err := eng.Search(context.Background(), q)
+			if err != nil {
+				return 0, agg, err
+			}
+			if sh := res.Shard; sh != nil {
+				sharded++
+				agg.Levels += int64(sh.Levels)
+				agg.Messages += sh.Messages
+				agg.ExchangeMs += float64(sh.Exchange) / float64(time.Millisecond)
+				agg.MergeMs += float64(sh.Merge) / float64(time.Millisecond)
+				imbalance += sh.Imbalance
+			}
+		}
+	}
+	wall := time.Since(start)
+	if sharded > 0 {
+		agg.AvgImbalance = imbalance / float64(sharded)
+	}
+	if agg.Levels > 0 {
+		agg.ExchangeUsPerLevel = agg.ExchangeMs * 1e3 / float64(agg.Levels)
+	}
+	return wall, agg, nil
+}
+
+// ShardBench measures solo-versus-sharded throughput on one engine with an
+// identical sequential workload. The sides interleave pass by pass and
+// each keeps its fastest, so slow machine-level drift lands on all of them
+// equally; the engine's coordinator cache makes the per-pass mode switches
+// cheap (the partition is built once per shard count, on the first pass).
+// Every pass re-warms briefly and forces a collection before the clock, so
+// neither mode-switch GC debt nor the other side's cache residue lands
+// inside a timed drive.
+func ShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
+	cfg = cfg.Defaults()
+	env, err := NewEnv(Config{Preset: cfg.Preset, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Eng.Close()
+	var pool []wikisearch.Query
+	for _, text := range env.Workload(cfg.Knum, cfg.Queries) {
+		pool = append(pool, wikisearch.Query{Text: text, TopK: cfg.TopK, Threads: cfg.Threads})
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: empty shard workload")
+	}
+	ops := len(pool) * cfg.Rounds
+
+	rep := &ShardBenchReport{
+		Config:  cfg,
+		Env:     CaptureEnv(cfg.Preset, env.KB.Graph.NumNodes(), env.KB.Graph.NumEdges()),
+		Queries: len(pool),
+	}
+
+	// One side per mode, measured once per pass; each keeps its fastest
+	// pass (wall time and that pass's telemetry together).
+	sides := []ShardBenchPoint{{Mode: "solo", Ops: ops}}
+	for _, n := range cfg.Shards {
+		sides = append(sides, ShardBenchPoint{Mode: fmt.Sprintf("shards-%d", n), Shards: n, Ops: ops})
+	}
+
+	measure := func(pt *ShardBenchPoint, first bool) error {
+		if pt.Shards > 0 {
+			if err := env.Eng.EnableSharding(pt.Shards); err != nil {
+				return err
+			}
+		} else {
+			env.Eng.DisableSharding()
+		}
+		// Warm the side outside the clock: the full workload on the first
+		// pass (pooled runs, level caches, the partition's first-touch page
+		// faults), a short re-warm on later ones. The forced collection
+		// pays mode-switch GC debt before the clock starts, not inside a
+		// measured drive.
+		warm := pool
+		if !first && len(warm) > 2 {
+			warm = warm[:2]
+		}
+		if _, _, err := shardBenchDrive(env.Eng, warm, 1); err != nil {
+			return err
+		}
+		runtime.GC()
+		wall, agg, err := shardBenchDrive(env.Eng, pool, cfg.Rounds)
+		if err != nil {
+			return err
+		}
+		if ms := float64(wall) / float64(time.Millisecond); pt.WallMs == 0 || ms < pt.WallMs {
+			pt.WallMs = ms
+			pt.QPS = float64(ops) / wall.Seconds()
+			pt.Levels = agg.Levels
+			pt.Messages = agg.Messages
+			pt.ExchangeMs = agg.ExchangeMs
+			pt.ExchangeUsPerLevel = agg.ExchangeUsPerLevel
+			pt.MergeMs = agg.MergeMs
+			pt.AvgImbalance = agg.AvgImbalance
+			if st, ok := env.Eng.ShardStats(); ok {
+				pt.CutEdges = st.CutEdges
+			}
+		}
+		return nil
+	}
+
+	for pass := 0; pass < cfg.Passes; pass++ {
+		for i := range sides {
+			if err := measure(&sides[i], pass == 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	env.Eng.DisableSharding()
+
+	solo := sides[0].QPS
+	for i := range sides {
+		if sides[i].Shards > 0 && solo > 0 {
+			sides[i].Speedup = sides[i].QPS / solo
+			if sides[i].Speedup > rep.BestSpeedup {
+				rep.BestSpeedup = sides[i].Speedup
+			}
+		}
+		rep.Points = append(rep.Points, sides[i])
+	}
+	return rep, nil
+}
+
+// ShardBenchTable renders the report for benchrunner.
+func ShardBenchTable(r *ShardBenchReport) Table {
+	t := Table{
+		ID: "shard",
+		Title: fmt.Sprintf("Sharded search on %s (%d queries × %d rounds, knum=%d, Tnum=%d, equal-core)",
+			r.Config.Preset, r.Queries, r.Config.Rounds, r.Config.Knum, r.Config.Threads),
+		Header: []string{"mode", "QPS", "wall ms", "vs solo", "exchange µs/level", "messages", "merge ms", "imbalance", "cut edges"},
+	}
+	for _, p := range r.Points {
+		sp, ex, ms, mg, im, cut := "-", "-", "-", "-", "-", "-"
+		if p.Shards > 0 {
+			sp = fmt.Sprintf("%.2fx", p.Speedup)
+			ex = fmt.Sprintf("%.1f", p.ExchangeUsPerLevel)
+			ms = fmt.Sprintf("%d", p.Messages)
+			mg = fmt.Sprintf("%.1f", p.MergeMs)
+			im = fmt.Sprintf("%.2f", p.AvgImbalance)
+			cut = fmt.Sprintf("%d", p.CutEdges)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Mode, fmt.Sprintf("%.1f", p.QPS), fmt.Sprintf("%.1f", p.WallMs), sp, ex, ms, mg, im, cut,
+		})
+	}
+	return t
+}
+
+// WriteShardBench serializes the report as indented JSON.
+func WriteShardBench(path string, r *ShardBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"time"
 
 	"wikisearch"
@@ -53,11 +52,11 @@ type StartupBenchPoint struct {
 // StartupBenchReport is the full outcome, serialized to BENCH_startup.json
 // by `benchrunner -exp startup`.
 type StartupBenchReport struct {
-	Config     StartupBenchConfig  `json:"config"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	Nodes      int                 `json:"nodes"`
-	Edges      int                 `json:"edges"`
-	Points     []StartupBenchPoint `json:"points"`
+	Config StartupBenchConfig  `json:"config"`
+	Env    RunEnv              `json:"env"`
+	Nodes  int                 `json:"nodes"`
+	Edges  int                 `json:"edges"`
+	Points []StartupBenchPoint `json:"points"`
 	// Speedup is v2 min-load-time over v3 min-load-time.
 	Speedup float64 `json:"speedup"`
 }
@@ -84,10 +83,10 @@ func StartupBench(cfg StartupBenchConfig) (*StartupBenchReport, error) {
 	defer os.RemoveAll(dir)
 
 	rep := &StartupBenchReport{
-		Config:     cfg,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Nodes:      ds.Graph.NumNodes(),
-		Edges:      ds.Graph.NumEdges(),
+		Config: cfg,
+		Env:    CaptureEnv(cfg.Preset, ds.Graph.NumNodes(), ds.Graph.NumEdges()),
+		Nodes:  ds.Graph.NumNodes(),
+		Edges:  ds.Graph.NumEdges(),
 	}
 	var v2Min, v3Min float64
 	for _, fm := range []struct {

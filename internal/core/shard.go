@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"wikisearch/internal/graph"
+	"wikisearch/internal/trace"
+)
+
+// BoundaryMsg is one cross-shard activation: during expansion a shard that
+// hits a ghost copy of a remote node batches the hit columns into its
+// workers' out buffers instead of enqueuing the ghost. Node is a shard-local
+// id — the sender's ghost-local id when drained, rewritten to the owner
+// shard's local id by the coordinator's precomputed ghost routing tables
+// before ApplyBoundary sees it. Keeping both hops shard-local means the
+// whole exchange path probes only compact per-ghost tables, never a
+// full-graph array.
+type BoundaryMsg struct {
+	Node graph.NodeID // shard-local id (sender's ghost, then owner's node)
+	Cols uint64       // keyword columns hit (bit i ⇔ column i)
+}
+
+// BeginShard prepares the state as one shard of a sharded search: in is the
+// shard-local input (subgraph, gathered activation levels, local source
+// lists — possibly empty for keywords with no sources on this shard) and
+// owned is the count of owned local ids (larger ids are ghosts). Unlike
+// BottomUp it performs no input validation (shard inputs intentionally break
+// the solo invariants: no weights, possibly empty source lists) and runs no
+// levels — the coordinator drives ShardEnqueue/ShardIdentify/ShardExpand
+// level-synchronously across all shards, because no shard may terminate on
+// local evidence alone: an empty local frontier still receives boundary
+// activations from its peers.
+func (ss *SearchState) BeginShard(in Input, p Params, owned int) {
+	ss.ensurePool(p.Threads)
+	s := &ss.st
+	s.buf = &ss.buf
+	ss.buf.Reset()
+	t0 := trace.Now()
+	s.prepareCommon(in, p, ss.pool)
+	s.localN = owned
+	s.initSources()
+	t1 := trace.Now()
+	s.prof.Phases[PhaseInit] = time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindInit, t0, t1, -1, 0, int64(len(in.Sources)), 0)
+}
+
+// ShardEnqueue runs the sequential frontier-enqueue step for the current
+// level and returns the local frontier size. The global frontier is the
+// disjoint union over shards (ghosts are never enqueued), so the coordinator
+// sums the returns to evaluate the solo loop's exhaustion condition exactly.
+func (ss *SearchState) ShardEnqueue() int {
+	s := &ss.st
+	t0 := trace.Now()
+	s.enqueueFrontiers()
+	t1 := trace.Now()
+	s.prof.Phases[PhaseEnqueue] += time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindEnqueue, t0, t1, s.level, 1, int64(len(s.frontier)), 0)
+	return len(s.frontier)
+}
+
+// ShardIdentify runs Central Node identification for the current level and
+// returns the newly identified centrals in local frontier order (ascending
+// local id, which for owned nodes is ascending global id — the k-way merge
+// across shards therefore reproduces the solo identification order). The
+// returned slice aliases state and is valid until the next level.
+func (ss *SearchState) ShardIdentify() []graph.NodeID {
+	s := &ss.st
+	t0 := trace.Now()
+	gr := &s.groups[0]
+	prev := len(gr.centrals)
+	s.identifyCentrals()
+	t1 := trace.Now()
+	s.prof.Phases[PhaseIdentify] += time.Duration(t1 - t0)
+	s.prof.Levels++
+	ss.buf.Record(0, trace.KindIdentify, t0, t1, s.level, 1, int64(len(s.frontier)), int64(len(gr.centrals)-prev))
+	return gr.centrals[prev:]
+}
+
+// ShardExpand runs the expansion step for the current level and advances the
+// shard to the next one. Hits on owned nodes are enqueued locally; hits on
+// ghosts land in the per-worker out buffers for DrainBoundary.
+func (ss *SearchState) ShardExpand() {
+	s := &ss.st
+	t0 := trace.Now()
+	prevEdges := s.prof.EdgesScanned
+	s.expand()
+	t1 := trace.Now()
+	s.prof.Phases[PhaseExpand] += time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindExpand, t0, t1, s.level, 1, int64(len(s.frontier)), s.prof.EdgesScanned-prevEdges)
+	s.level++
+}
+
+// DrainBoundary appends every boundary activation recorded by the last
+// expansion to dst, resets the workers' out buffers, and returns the
+// extended slice. Messages from different workers may interleave in any
+// order; application is order-independent (idempotent same-level writes
+// behind a newly-hit filter).
+//
+//wikisearch:hotpath
+func (ss *SearchState) DrainBoundary(dst []BoundaryMsg) []BoundaryMsg {
+	for i := range ss.st.scratch {
+		sc := &ss.st.scratch[i]
+		dst = append(dst, sc.out...)
+		sc.out = sc.out[:0]
+	}
+	return dst
+}
+
+// ApplyBoundary applies remote activations to this (owner) shard before the
+// level's enqueue: level is the hitting level the senders recorded (their
+// expansion level + 1, i.e. the coordinator's current level). Each message's
+// Node has already been rewritten to this shard's local id by the
+// coordinator's ghost routing tables. The newly mask drops columns another
+// shard or the local expansion already hit — possibly at an earlier level —
+// so the monotone ∞→level matrix writes are never corrupted and duplicate
+// messages are harmless. Runs sequentially on the shard (the coordinator
+// parallelizes across shards, whose states are disjoint), so the frontier
+// marks go through worker 0's scratch.
+//
+//wikisearch:hotpath
+func (ss *SearchState) ApplyBoundary(msgs []BoundaryMsg, level int) {
+	s := &ss.st
+	sc := &s.scratch[0]
+	hit := uint8(level)
+	one := s.m.WordsPerRow() == 1
+	for _, m := range msgs {
+		lo := m.Node
+		newly := m.Cols & s.m.MissMask(lo)
+		if newly == 0 {
+			continue
+		}
+		if one {
+			s.m.MarkHitsWord(lo, newly, hit)
+		} else {
+			for b := newly; b != 0; b &= b - 1 {
+				s.m.MarkHit(lo, bits.TrailingZeros64(b), hit)
+			}
+		}
+		s.markFrontier(sc, lo)
+	}
+}
+
+// EndShard drops the shard input references so a pooled shard state does not
+// pin the topology's slices between queries.
+func (ss *SearchState) EndShard() { ss.st.in = Input{} }
+
+// BeginMerge prepares the state as the global merge target of a sharded
+// search: full-graph matrix and contains masks over the solo input, but no
+// source marking and no bottom-up loop — the matrix content arrives via
+// AbsorbShard and the central set via AddCentral, after which FinishMerge
+// runs the unchanged top-down extraction so answers are bit-identical to the
+// solo path. p must already have defaults resolved.
+func (ss *SearchState) BeginMerge(in Input, p Params) {
+	ss.ensurePool(p.Threads)
+	s := &ss.st
+	s.buf = &ss.buf
+	ss.buf.Reset()
+	s.prepareCommon(in, p, ss.pool)
+	for i := range in.Sources {
+		bit := uint64(1) << uint(i)
+		for _, v := range in.Sources[i] {
+			s.contains[v] |= bit
+		}
+	}
+}
+
+// infWord is a matrix word whose every cell is Infinity — the post-Reset
+// fill, i.e. a row (or row word) no expansion ever touched.
+const infWord = ^uint64(0)
+
+// AbsorbShard scatters a shard's owned matrix rows into the global merge
+// matrix. Rows are word-aligned and ownership is disjoint across shards, so
+// the coordinator can absorb all shards in parallel; the word copies go
+// through atomics to honor the matrix's access contract (the shards' own
+// expansion has already joined, so the values are quiescent). Words still
+// at the all-Infinity fill are skipped: the merge matrix was reset to
+// Infinity, so only hit rows pay the scattered global store.
+//
+//wikisearch:hotpath
+func (ss *SearchState) AbsorbShard(sh *SearchState, l2g []graph.NodeID, owned int) {
+	dst := ss.st.m.Words()
+	src := sh.st.m.Words()
+	wpr := ss.st.m.WordsPerRow()
+	if wpr == 1 {
+		for lo := 0; lo < owned; lo++ {
+			if w := atomic.LoadUint64(&src[lo]); w != infWord {
+				atomic.StoreUint64(&dst[l2g[lo]], w)
+			}
+		}
+		return
+	}
+	for lo := 0; lo < owned; lo++ {
+		db := int(l2g[lo]) * wpr
+		sb := lo * wpr
+		for w := 0; w < wpr; w++ {
+			if v := atomic.LoadUint64(&src[sb+w]); v != infWord {
+				atomic.StoreUint64(&dst[db+w], v)
+			}
+		}
+	}
+}
+
+// AddCentral appends one Central Node (global id) identified at the given
+// level. The coordinator calls it in the solo identification order: level
+// by level, ascending global id within a level.
+func (ss *SearchState) AddCentral(v graph.NodeID, level int) {
+	gr := &ss.st.groups[0]
+	gr.centralAt[v] = int32(level)
+	gr.centrals = append(gr.centrals, v)
+}
+
+// FinishMerge runs the top-down extraction over the absorbed global state
+// and assembles the search result; depth is the level the coordinator's
+// monotone termination fixed (identical to the solo loop's d by
+// construction). The caller owns profile assembly — the returned Profile
+// carries only this state's top-down timing.
+func (ss *SearchState) FinishMerge(depth int) (*Result, error) {
+	s := &ss.st
+	t0 := trace.Now()
+	answers, err := s.topDown()
+	t1 := trace.Now()
+	if err != nil {
+		s.in = Input{}
+		return nil, err
+	}
+	s.prof.Phases[PhaseTopDown] = time.Duration(t1 - t0)
+	ss.buf.Record(0, trace.KindTopDown, t0, t1, -1, 1, int64(len(answers)), int64(len(s.groups[0].centrals)))
+	res := &Result{
+		Answers:           answers,
+		DepthD:            depth,
+		CentralCandidates: len(s.groups[0].centrals),
+		Profile:           s.prof,
+	}
+	s.in = Input{}
+	return res, nil
+}
+
+// CentralCount returns the number of Central Nodes collected so far (merge
+// states; the coordinator's monotone termination bound).
+func (ss *SearchState) CentralCount() int { return len(ss.st.groups[0].centrals) }

@@ -138,6 +138,11 @@ const (
 	PhaseIdentify
 	PhaseExpand
 	PhaseTopDown
+	// PhaseExchange and PhaseMerge exist only on sharded searches: the
+	// per-level cross-shard boundary application and the global central
+	// merge plus matrix absorption (solo profiles leave them zero).
+	PhaseExchange
+	PhaseMerge
 	numPhases
 )
 
@@ -154,6 +159,10 @@ func (p Phase) String() string {
 		return "Expansion"
 	case PhaseTopDown:
 		return "Top-down Processing"
+	case PhaseExchange:
+		return "Frontier Exchange"
+	case PhaseMerge:
+		return "Global Merge"
 	}
 	return "Unknown"
 }

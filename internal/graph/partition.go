@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shard is one edge-cut partition of a Graph, materialized as its own CSR
+// subgraph so the search kernel can run on it unmodified. Local node ids are
+// laid out in two contiguous bands, both ascending by global id:
+//
+//	[0, Owned)            nodes owned by this shard
+//	[Owned, G.NumNodes()) ghost copies of remote endpoints of cut edges
+//
+// The subgraph contains every global edge with at least one owned endpoint,
+// mirrored in both CSR directions exactly like the global graph, so an owned
+// node's local degree equals its global degree and the kernel's edge-scan
+// accounting stays comparable. Ghost nodes carry only their cut edges and are
+// never expanded — they exist so expansion can hit them locally and the
+// coordinator can forward the activation to the owner.
+type Shard struct {
+	G     *Graph
+	Owned int      // locals [0, Owned) are owned; the rest are ghosts
+	L2G   []NodeID // local id -> global id, len G.NumNodes()
+	G2L   []int32  // global id -> local id, -1 when absent from this shard
+	Edges int      // directed global edges included in this shard
+}
+
+// Ghosts returns the number of ghost nodes in the shard.
+func (s *Shard) Ghosts() int { return s.G.NumNodes() - s.Owned }
+
+// Partition is an edge-cut decomposition of a Graph into K shards. Every
+// global node is owned by exactly one shard; OwnerLocal gives its local id
+// there, so boundary activations route in O(1).
+type Partition struct {
+	K          int
+	Owner      []int32 // global id -> owning shard
+	OwnerLocal []int32 // global id -> local id within the owning shard
+	Shards     []*Shard
+	// CutEdges counts directed global edges whose endpoints live on
+	// different shards (each such edge is replicated into both).
+	CutEdges int
+}
+
+// ldgCapacity is the slack factor of the partitioner's balance bound: no
+// shard owns more than ceil(slack·n/k) nodes.
+const ldgSlack = 1.1
+
+// PartitionCapacity returns the per-shard ownership bound the partitioner
+// enforces for n nodes over k shards: ceil(slack·n/k).
+func PartitionCapacity(n, k int) int {
+	return int(math.Ceil(ldgSlack * float64(n) / float64(k)))
+}
+
+// PartitionGraph splits g into k edge-cut shards with a greedy streaming
+// partitioner (linear deterministic greedy, Stanton & Kliot): nodes stream in
+// id order and each lands on the shard maximizing
+//
+//	|N(v) ∩ S_j| · (1 − |S_j|/C)
+//
+// with capacity C = PartitionCapacity(n, k) — neighbor affinity damped by
+// fill, which keeps shards balanced while preferring low edge cuts. Ties
+// break to the lowest shard id and isolated nodes go to the least-loaded
+// shard, so the partition is deterministic. The per-shard subgraphs are
+// assembled with the same sorted-CSR builder as the global graph.
+func PartitionGraph(g *Graph, k int) (*Partition, error) {
+	n := g.NumNodes()
+	if k < 1 {
+		return nil, fmt.Errorf("graph: partition into %d shards", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("graph: %d shards exceed %d nodes", k, n)
+	}
+	p := &Partition{
+		K:          k,
+		Owner:      make([]int32, n),
+		OwnerLocal: make([]int32, n),
+		Shards:     make([]*Shard, k),
+	}
+	capacity := PartitionCapacity(n, k)
+	capf := float64(capacity)
+	size := make([]int, k)
+	cnt := make([]int, k) // assigned-neighbor count per shard (reset via touched)
+	touched := make([]int32, 0, k)
+	for v := 0; v < n; v++ {
+		touched = touched[:0]
+		vid := NodeID(v)
+		count := func(u NodeID) {
+			if int(u) >= v || u == vid {
+				return // only already-assigned neighbors vote
+			}
+			s := p.Owner[u]
+			if cnt[s] == 0 {
+				touched = append(touched, s)
+			}
+			cnt[s]++
+		}
+		for _, u := range g.OutNeighbors(vid) {
+			count(u)
+		}
+		for _, u := range g.InNeighbors(vid) {
+			count(u)
+		}
+		best, bestScore := -1, 0.0
+		for _, s := range touched {
+			if size[s] >= capacity {
+				cnt[s] = 0
+				continue
+			}
+			score := float64(cnt[s]) * (1 - float64(size[s])/capf)
+			if best == -1 || score > bestScore || (score == bestScore && int(s) < best) {
+				best, bestScore = int(s), score
+			}
+			cnt[s] = 0
+		}
+		if best == -1 {
+			// No assigned neighbor (or all their shards full): least loaded,
+			// lowest id.
+			for s := 0; s < k; s++ {
+				if best == -1 || size[s] < size[best] {
+					best = s
+				}
+			}
+		}
+		p.Owner[v] = int32(best)
+		p.OwnerLocal[v] = int32(size[best])
+		size[best]++
+	}
+	p.buildShards(g)
+	return p, nil
+}
+
+// buildShards materializes the per-shard CSR subgraphs from the ownership
+// vector.
+func (p *Partition) buildShards(g *Graph) {
+	n := g.NumNodes()
+	k := p.K
+	// Collect each shard's ghost candidates (remote endpoints of its cut
+	// edges) and count its edges.
+	ghosts := make([][]NodeID, k)
+	edges := make([]int, k)
+	for u := 0; u < n; u++ {
+		su := p.Owner[u]
+		for _, w := range g.OutNeighbors(NodeID(u)) {
+			sw := p.Owner[w]
+			edges[su]++
+			if sw != su {
+				p.CutEdges++
+				edges[sw]++
+				ghosts[su] = append(ghosts[su], w)
+				ghosts[sw] = append(ghosts[sw], NodeID(u))
+			}
+		}
+	}
+	for s := 0; s < k; s++ {
+		gl := ghosts[s]
+		sort.Slice(gl, func(i, j int) bool { return gl[i] < gl[j] })
+		ghosts[s] = dedupNodeIDs(gl)
+	}
+	// Lay out local id spaces: owned ascending, then ghosts ascending.
+	for s := 0; s < k; s++ {
+		sh := &Shard{G2L: make([]int32, n), Edges: edges[s]}
+		for i := range sh.G2L {
+			sh.G2L[i] = -1
+		}
+		p.Shards[s] = sh
+	}
+	for v := 0; v < n; v++ {
+		sh := p.Shards[p.Owner[v]]
+		sh.G2L[v] = int32(len(sh.L2G))
+		sh.L2G = append(sh.L2G, NodeID(v))
+	}
+	for s := 0; s < k; s++ {
+		sh := p.Shards[s]
+		sh.Owned = len(sh.L2G)
+		for _, gid := range ghosts[s] {
+			sh.G2L[gid] = int32(len(sh.L2G))
+			sh.L2G = append(sh.L2G, gid)
+		}
+	}
+	// Build each shard's CSR with the global relation table interned in
+	// order, so shard RelIDs equal global RelIDs.
+	_, _, _, _, _, _, _, _, relNames := g.Parts()
+	for s := 0; s < k; s++ {
+		sh := p.Shards[s]
+		b := NewBuilder()
+		for _, lg := range sh.L2G {
+			b.AddNode(g.Label(lg), g.Description(lg))
+		}
+		for _, name := range relNames {
+			b.Rel(name)
+		}
+		for li := 0; li < sh.Owned; li++ {
+			gid := sh.L2G[li]
+			dsts, rels := g.OutEdges(gid)
+			for j, w := range dsts {
+				b.AddEdge(NodeID(li), NodeID(sh.G2L[w]), rels[j])
+			}
+		}
+		// Cut edges arriving at owned nodes from remote sources (the
+		// owned-source loop above already covered local ones).
+		for li := 0; li < sh.Owned; li++ {
+			gid := sh.L2G[li]
+			srcs, rels := g.InEdges(gid)
+			for j, u := range srcs {
+				if p.Owner[u] != int32(s) {
+					b.AddEdge(NodeID(sh.G2L[u]), NodeID(li), rels[j])
+				}
+			}
+		}
+		built, err := b.Build()
+		if err != nil {
+			// Every endpoint is a member of the shard by construction.
+			panic(fmt.Sprintf("graph: shard %d build: %v", s, err))
+		}
+		sh.G = built
+	}
+}
+
+// dedupNodeIDs compacts a sorted slice in place.
+func dedupNodeIDs(s []NodeID) []NodeID {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

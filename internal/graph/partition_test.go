@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomPartGraph builds a random directed multigraph with locality: most
+// edges connect ids within a window, a fraction jump anywhere — the shape
+// the streaming partitioner is designed for.
+func randomPartGraph(t *testing.T, seed int64, n, m int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []RelID{b.Rel("r0"), b.Rel("r1"), b.Rel("r2")}
+	window := n/8 + 2
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		var w int
+		if rng.Intn(10) < 8 {
+			w = (u + 1 + rng.Intn(window)) % n
+		} else {
+			w = rng.Intn(n)
+		}
+		b.AddEdge(NodeID(u), NodeID(w), rels[rng.Intn(len(rels))])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestPartitionBalanceBound(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 4; seed++ {
+			g := randomPartGraph(t, seed, 100+int(seed)*37, 400)
+			p, err := PartitionGraph(g, k)
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			n := g.NumNodes()
+			capacity := PartitionCapacity(n, k)
+			total := 0
+			for s, sh := range p.Shards {
+				if sh.Owned > capacity {
+					t.Errorf("k=%d seed=%d shard %d owns %d > capacity %d", k, seed, s, sh.Owned, capacity)
+				}
+				total += sh.Owned
+			}
+			if total != n {
+				t.Fatalf("k=%d seed=%d: shards own %d nodes, graph has %d", k, seed, total, n)
+			}
+			for v := 0; v < n; v++ {
+				s := p.Owner[v]
+				if s < 0 || int(s) >= k {
+					t.Fatalf("node %d owner %d out of range", v, s)
+				}
+				sh := p.Shards[s]
+				lo := p.OwnerLocal[v]
+				if int(lo) >= sh.Owned || sh.L2G[lo] != NodeID(v) || sh.G2L[v] != lo {
+					t.Fatalf("node %d: owner-local mapping broken", v)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionSubgraphsValidAndDegreePreserving(t *testing.T) {
+	g := randomPartGraph(t, 7, 150, 600)
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := PartitionGraph(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		included := 0
+		for s, sh := range p.Shards {
+			if err := sh.G.Validate(); err != nil {
+				t.Fatalf("k=%d shard %d invalid: %v", k, s, err)
+			}
+			included += sh.G.NumEdges()
+			// Owned nodes keep their exact global degree (every incident
+			// edge is present, in both CSR directions).
+			for li := 0; li < sh.Owned; li++ {
+				gid := sh.L2G[li]
+				if got, want := sh.G.OutDegree(NodeID(li)), g.OutDegree(gid); got != want {
+					t.Fatalf("k=%d shard %d node %d out-degree %d, global %d", k, s, gid, got, want)
+				}
+				if got, want := sh.G.InDegree(NodeID(li)), g.InDegree(gid); got != want {
+					t.Fatalf("k=%d shard %d node %d in-degree %d, global %d", k, s, gid, got, want)
+				}
+				if sh.G.Label(NodeID(li)) != g.Label(gid) {
+					t.Fatalf("k=%d shard %d node %d label mismatch", k, s, gid)
+				}
+			}
+			// Local bands ascend by global id.
+			for li := 1; li < sh.Owned; li++ {
+				if sh.L2G[li] <= sh.L2G[li-1] {
+					t.Fatalf("owned band not ascending at %d", li)
+				}
+			}
+			for li := sh.Owned + 1; li < len(sh.L2G); li++ {
+				if sh.L2G[li] <= sh.L2G[li-1] {
+					t.Fatalf("ghost band not ascending at %d", li)
+				}
+			}
+		}
+		// Each directed edge appears once per incident shard: interior edges
+		// once, cut edges twice.
+		if want := g.NumEdges() + p.CutEdges; included != want {
+			t.Fatalf("k=%d: shards hold %d edges, want %d (%d global + %d cut)", k, included, want, g.NumEdges(), p.CutEdges)
+		}
+	}
+}
+
+// TestPartitionEdgeCutQuality pins the partitioner's reason to exist: on a
+// graph with locality it must cut far fewer edges than a hash partition
+// would in expectation ((k−1)/k of them).
+func TestPartitionEdgeCutQuality(t *testing.T) {
+	g := randomPartGraph(t, 11, 400, 2000)
+	for _, k := range []int{2, 4} {
+		p, err := PartitionGraph(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		hashCut := float64(g.NumEdges()) * float64(k-1) / float64(k)
+		if float64(p.CutEdges) > 0.7*hashCut {
+			t.Errorf("k=%d: cut %d edges of %d; want well under the hash-partition expectation %.0f",
+				k, p.CutEdges, g.NumEdges(), hashCut)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := randomPartGraph(t, 3, 120, 500)
+	a, err := PartitionGraph(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionGraph(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Owner {
+		if a.Owner[v] != b.Owner[v] || a.OwnerLocal[v] != b.OwnerLocal[v] {
+			t.Fatalf("node %d assigned differently across runs", v)
+		}
+	}
+	if a.CutEdges != b.CutEdges {
+		t.Fatalf("cut edges differ: %d vs %d", a.CutEdges, b.CutEdges)
+	}
+}
+
+func TestPartitionSingleShardIsIdentity(t *testing.T) {
+	g := randomPartGraph(t, 5, 80, 300)
+	p, err := PartitionGraph(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := p.Shards[0]
+	if sh.Owned != g.NumNodes() || sh.Ghosts() != 0 {
+		t.Fatalf("single shard owns %d nodes with %d ghosts; want %d/0", sh.Owned, sh.Ghosts(), g.NumNodes())
+	}
+	if sh.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("single shard has %d edges, graph %d", sh.G.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		a, ar := g.OutEdges(NodeID(v))
+		b, br := sh.G.OutEdges(NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency length differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] || ar[i] != br[i] {
+				t.Fatalf("node %d adjacency differs at %d", v, i)
+			}
+		}
+	}
+}

@@ -228,6 +228,10 @@ type StatsResponse struct {
 	LoadFormat  int     `json:"load_format,omitempty"`
 	LoadMode    string  `json:"load_mode,omitempty"`
 	MappedBytes int64   `json:"mapped_bytes,omitempty"`
+	// Sharding describes the sharded runtime's topology and cumulative
+	// serving totals, including the per-shard phase breakdown (absent when
+	// the engine serves solo).
+	Sharding *wikisearch.ShardStats `json:"sharding,omitempty"`
 }
 
 // V1Error is the error block of every /v1 envelope. Code is a stable
@@ -463,7 +467,7 @@ func (s *Server) v1SearchError(w http.ResponseWriter, err error) {
 // statsResponse assembles the shared /stats and /v1/stats payload.
 func (s *Server) statsResponse() StatsResponse {
 	info := s.eng.LoadInfo()
-	return StatsResponse{
+	resp := StatsResponse{
 		Dataset:     s.eng.Name(),
 		Nodes:       s.eng.Graph().NumNodes(),
 		Edges:       s.eng.Graph().NumEdges(),
@@ -473,6 +477,10 @@ func (s *Server) statsResponse() StatsResponse {
 		LoadMode:    info.Mode,
 		MappedBytes: info.MappedBytes,
 	}
+	if st, ok := s.eng.ShardStats(); ok {
+		resp.Sharding = &st
+	}
+	return resp
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"wikisearch/internal/core"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/trace"
+)
+
+// shardScenario builds a random graph, activation levels, dyadic weights and
+// a random multi-keyword query, deterministic in seed (the internal/core
+// equivalence generator, rebuilt here against the public API).
+func shardScenario(t testing.TB, seed int64) (core.Input, core.Params) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 20 + rng.Intn(60)
+	m := n + rng.Intn(3*n)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i), "")
+	}
+	rels := []graph.RelID{b.Rel("r0"), b.Rel("r1"), b.Rel("r2")}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(3)])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := make([]uint8, n)
+	weights := make([]float64, n)
+	for i := range levels {
+		levels[i] = uint8(rng.Intn(4))
+		weights[i] = float64(rng.Intn(1024)) / 1024
+	}
+	q := 2 + rng.Intn(3)
+	sources := make([][]graph.NodeID, q)
+	terms := make([]string, q)
+	for i := range sources {
+		terms[i] = fmt.Sprintf("t%d", i)
+		sz := 1 + rng.Intn(4)
+		seen := map[graph.NodeID]bool{}
+		for len(sources[i]) < sz {
+			v := graph.NodeID(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				sources[i] = append(sources[i], v)
+			}
+		}
+		sort.Slice(sources[i], func(a, b int) bool { return sources[i][a] < sources[i][b] })
+	}
+	in := core.Input{G: g, Weights: weights, Levels: levels, Terms: terms, Sources: sources}
+	p := core.Params{TopK: 1 + rng.Intn(8), Threads: 1, MaxLevel: 16}
+	return in, p
+}
+
+type answerFingerprint struct {
+	central graph.NodeID
+	depth   int
+	score   float64
+	nodes   string
+	edges   string
+}
+
+func fingerprint(a *core.Answer) answerFingerprint {
+	ids := a.NodeIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	es := make([]string, len(a.Edges))
+	for i, e := range a.Edges {
+		es[i] = fmt.Sprintf("%d>%d:%d:%v:%x", e.From, e.To, e.Rel, e.Forward, e.Keywords)
+	}
+	sort.Strings(es)
+	return answerFingerprint{a.Central, a.Depth, math.Round(a.Score*1e9) / 1e9, fmt.Sprint(ids), fmt.Sprint(es)}
+}
+
+func resultsEqual(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if a.DepthD != b.DepthD {
+		t.Fatalf("%s: d mismatch %d vs %d", label, a.DepthD, b.DepthD)
+	}
+	if a.CentralCandidates != b.CentralCandidates {
+		t.Fatalf("%s: candidates %d vs %d", label, a.CentralCandidates, b.CentralCandidates)
+	}
+	if len(a.Answers) != len(b.Answers) {
+		t.Fatalf("%s: answer counts %d vs %d", label, len(a.Answers), len(b.Answers))
+	}
+	for i := range a.Answers {
+		fa, fb := fingerprint(a.Answers[i]), fingerprint(b.Answers[i])
+		if fa != fb {
+			t.Fatalf("%s: answer %d differs:\n  %+v\n  %+v", label, i, fa, fb)
+		}
+	}
+}
+
+// TestShardedSoloEquivalence is the tentpole's ground truth: at shard counts
+// 1, 2, 4 and 8, at Tnum=1 and Tnum=GOMAXPROCS, the sharded coordinator
+// returns bit-identical results to the solo engine — and walks exactly the
+// same search: identical level count, total frontier size and edges scanned
+// (the monotone termination and exchange protocol add no work and lose none).
+func TestShardedSoloEquivalence(t *testing.T) {
+	threads := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		threads = append(threads, g)
+	} else {
+		threads = append(threads, 4)
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		in, p := shardScenario(t, seed)
+		ref, err := core.Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4, 8} {
+			top, err := NewTopology(in.G, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := NewCoordinator(top)
+			for _, tn := range threads {
+				pp := p
+				pp.Threads = tn
+				res, info, _, _, err := co.Search(in, pp, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("seed %d shards=%d T=%d", seed, k, tn)
+				resultsEqual(t, label, ref, res)
+				if res.Profile.Levels != ref.Profile.Levels {
+					t.Fatalf("%s: levels %d vs solo %d", label, res.Profile.Levels, ref.Profile.Levels)
+				}
+				if res.Profile.FrontierTotal != ref.Profile.FrontierTotal {
+					t.Fatalf("%s: frontier %d vs solo %d", label, res.Profile.FrontierTotal, ref.Profile.FrontierTotal)
+				}
+				if res.Profile.EdgesScanned != ref.Profile.EdgesScanned {
+					t.Fatalf("%s: edges %d vs solo %d", label, res.Profile.EdgesScanned, ref.Profile.EdgesScanned)
+				}
+				if info.Shards != k || info.Levels != res.Profile.Levels {
+					t.Fatalf("%s: info %+v inconsistent with profile", label, info)
+				}
+				if k == 1 && info.Messages != 0 {
+					t.Fatalf("%s: single shard exchanged %d messages", label, info.Messages)
+				}
+			}
+			co.Close()
+		}
+	}
+}
+
+// TestShardedReferenceKernelEquivalence repeats the equivalence property with
+// the per-column reference kernel, which has its own ghost-hit branch.
+func TestShardedReferenceKernelEquivalence(t *testing.T) {
+	for seed := int64(30); seed < 40; seed++ {
+		in, p := shardScenario(t, seed)
+		p.Kernel = core.KernelReference
+		ref, err := core.Search(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := NewTopology(in.G, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := NewCoordinator(top)
+		res, _, _, _, err := co.Search(in, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("seed %d reference kernel", seed), ref, res)
+		co.Close()
+	}
+}
+
+// TestShardedDeterministic: repeated sharded runs of one query on a warm
+// coordinator are byte-identical (pooled Runs carry no state across queries,
+// and the lock-free exchange introduces no schedule dependence).
+func TestShardedDeterministic(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		in, p := shardScenario(t, seed)
+		p.Threads = 8
+		top, err := NewTopology(in.G, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := NewCoordinator(top)
+		a, _, _, _, err := co.Search(in, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			b, _, _, _, err := co.Search(in, p, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, fmt.Sprintf("seed %d rep %d", seed, rep), a, b)
+		}
+		co.Close()
+	}
+}
+
+// TestShardedThreadReuse drives one coordinator across queries with changing
+// thread budgets, so pooled Runs are rebuilt under reuse.
+func TestShardedThreadReuse(t *testing.T) {
+	in, p := shardScenario(t, 55)
+	ref, err := core.Search(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := NewTopology(in.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(top)
+	defer co.Close()
+	for i, tn := range []int{1, 8, 2, 1, 4, 8, 1} {
+		pp := p
+		pp.Threads = tn
+		res, _, _, _, err := co.Search(in, pp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("query %d T=%d", i, tn), ref, res)
+	}
+	if st := co.Stats(); st.Queries != 7 || st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestShardedTracingSpans: a traced sharded query yields the coordinator's
+// merge spans (and exchange spans whenever messages crossed shards) alongside
+// the shards' own kernel spans.
+func TestShardedTracingSpans(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in, p := shardScenario(t, seed)
+		top, err := NewTopology(in.G, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := NewCoordinator(top)
+		_, info, events, _, err := co.Search(in, p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kinds [32]int
+		for _, e := range events {
+			kinds[e.Kind]++
+		}
+		if kinds[trace.KindMerge] == 0 {
+			t.Fatalf("seed %d: no merge spans in %d events", seed, len(events))
+		}
+		if info.Messages > 0 && kinds[trace.KindExchange] == 0 {
+			t.Fatalf("seed %d: %d messages exchanged but no exchange spans", seed, info.Messages)
+		}
+		if kinds[trace.KindEnqueue] == 0 || kinds[trace.KindTopDown] == 0 {
+			t.Fatalf("seed %d: shard kernel spans missing (%d events)", seed, len(events))
+		}
+		co.Close()
+	}
+}
+
+// TestShardedCancellation: a cancelled context stops the coordinator between
+// levels with the context's error.
+func TestShardedCancellation(t *testing.T) {
+	in, p := shardScenario(t, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	top, err := NewTopology(in.G, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(top)
+	defer co.Close()
+	if _, _, _, _, err := co.Search(in, p, false); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The coordinator and its pooled Run must remain serviceable.
+	p.Ctx = nil
+	res, _, _, _, err := co.Search(in, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Search(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "post-cancel reuse", ref, res)
+}
+
+// TestShardExchangeAllocationFree is the sharded counterpart of the solo
+// allocation guard: on a warm Run, the whole level-synchronous loop — shard
+// begin, boundary exchange, enqueue, identify, central merge, expand with
+// message routing, and the final matrix absorption — performs zero heap
+// allocations, with tracing on.
+func TestShardExchangeAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	for _, tn := range []int{1, 4} {
+		t.Run(fmt.Sprintf("threads=%d", tn), func(t *testing.T) {
+			in, p := shardScenario(t, 7)
+			p.Threads = tn
+			p = p.Defaults()
+			top, err := NewTopology(in.G, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := NewCoordinator(top)
+			defer co.Close()
+			r := co.acquire(p.Threads)
+			defer co.release(r)
+			for i := 0; i < 3; i++ { // warm states, buffers and caps
+				if err := co.bottomUp(r, in, p, true); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.merge.FinishMerge(r.depth); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := co.bottomUp(r, in, p, true); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm sharded bottom-up allocates %.1f times per query, want 0", allocs)
+			}
+		})
+	}
+}

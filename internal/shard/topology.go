@@ -1,0 +1,97 @@
+// Package shard runs the two-stage search over an edge-cut partition of the
+// graph: N shards each execute the unchanged bottom-up kernel on their local
+// subgraph and frontier, while a coordinator performs per-BFS-level
+// cross-shard frontier exchange (boundary activations batched into pooled
+// per-(source,destination) buffers — no locks on the exchange path) and a
+// global top-k merge whose monotone termination bound stops the sharded run
+// at exactly the level the solo run would stop. Answers are bit-identical to
+// the solo engine, which stays the ground truth.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"wikisearch/internal/graph"
+)
+
+// Topology is the immutable sharded view of one graph: the partition, the
+// per-shard subgraphs, and a cache of shard-local activation-level vectors
+// gathered from the engine's per-α global vectors. A Topology is shared by
+// every query and safe for concurrent use.
+type Topology struct {
+	G    *graph.Graph
+	Part *graph.Partition
+	N    int
+
+	// routes[s] routes shard s's boundary activations: indexed by ghost
+	// ordinal (localID − Owned), each entry carries the owning shard and
+	// the node's local id there. One entry per ghost instead of per node,
+	// so the per-message probes on the exchange path hit a table a few
+	// hundred KB wide rather than the full-graph Owner/OwnerLocal arrays.
+	routes [][]ghostRoute
+
+	mu sync.Mutex
+	// levels caches per-shard gathers keyed by the identity of the global
+	// level vector (the engine caches one stable vector per α, so identity
+	// is the cheapest exact key).
+	levels map[*uint8][][]uint8
+}
+
+// NewTopology partitions g into n edge-cut shards.
+func NewTopology(g *graph.Graph, n int) (*Topology, error) {
+	part, err := graph.PartitionGraph(g, n)
+	if err != nil {
+		return nil, err
+	}
+	return FromPartition(g, part), nil
+}
+
+// ghostRoute is one precomputed routing entry: the shard owning the ghost's
+// global node and the node's local id on that shard.
+type ghostRoute struct {
+	dest  int32
+	local int32
+}
+
+// FromPartition wraps an existing partition (e.g. one reloaded from a
+// sharded dump) as a Topology and precomputes the ghost routing tables.
+func FromPartition(g *graph.Graph, part *graph.Partition) *Topology {
+	routes := make([][]ghostRoute, part.K)
+	for s, sh := range part.Shards {
+		rs := make([]ghostRoute, sh.Ghosts())
+		for i := range rs {
+			gid := sh.L2G[sh.Owned+i]
+			rs[i] = ghostRoute{dest: part.Owner[gid], local: part.OwnerLocal[gid]}
+		}
+		routes[s] = rs
+	}
+	return &Topology{G: g, Part: part, N: part.K, routes: routes, levels: make(map[*uint8][][]uint8)}
+}
+
+// levelsFor returns the per-shard activation-level vectors for one global
+// vector, gathering and caching on first use. Ghost entries carry the true
+// global activation level of the remote node, so the kernel's §IV-B gate
+// decides identically to the solo run.
+func (t *Topology) levelsFor(global []uint8) ([][]uint8, error) {
+	if len(global) != t.G.NumNodes() {
+		return nil, fmt.Errorf("shard: level vector sized %d, graph has %d nodes", len(global), t.G.NumNodes())
+	}
+	key := &global[0]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lv, ok := t.levels[key]; ok {
+		return lv, nil
+	}
+	lv := make([][]uint8, t.N)
+	for s := 0; s < t.N; s++ {
+		sh := t.Part.Shards[s]
+		loc := make([]uint8, len(sh.L2G))
+		for li, gid := range sh.L2G {
+			loc[li] = global[gid]
+		}
+		lv[s] = loc
+	}
+	t.levels[key] = lv
+	return lv, nil
+}

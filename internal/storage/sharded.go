@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"wikisearch/internal/graph"
+)
+
+// The sharded layout splits one knowledge base into N edge-cut shard
+// segments, each an ordinary v3 dump of the shard's subgraph (so the mmap
+// fast path applies per shard and shards load independently) plus a compact
+// binary partition-map file carrying the shard's ownership window and
+// local→global table. manifest.json ties the segments together and pins the
+// global shape they were cut from.
+
+// ShardSegment describes one shard's pair of files, relative to the
+// manifest's directory.
+type ShardSegment struct {
+	File  string `json:"file"` // v3 dump of the shard subgraph
+	Map   string `json:"map"`  // binary partition map
+	Owned int    `json:"owned"`
+	Nodes int    `json:"nodes"` // owned + ghosts
+	Edges int    `json:"edges"` // directed global edges included
+}
+
+// ShardManifest is the manifest.json of a sharded dump directory.
+type ShardManifest struct {
+	Name     string         `json:"name"`
+	Shards   int            `json:"shards"`
+	Nodes    int            `json:"nodes"` // global node count
+	Edges    int            `json:"edges"` // global directed edge count
+	CutEdges int            `json:"cut_edges"`
+	Segments []ShardSegment `json:"segments"`
+}
+
+// ManifestName is the manifest file written into a sharded dump directory.
+const ManifestName = "manifest.json"
+
+const (
+	shardMapMagic   = 0x574b534d // "WKSM"
+	shardMapVersion = 1
+)
+
+// SaveSharded writes the sharded layout of d's graph under dir (created if
+// missing): one v3 segment and one map file per shard, then the manifest.
+// Weights are gathered per shard so each segment is a self-contained,
+// loadable dump.
+func SaveSharded(dir string, d *Dump, part *graph.Partition) (*ShardManifest, error) {
+	if d.Graph == nil {
+		return nil, fmt.Errorf("storage: nil graph")
+	}
+	if len(d.Weights) != d.Graph.NumNodes() {
+		return nil, fmt.Errorf("storage: %d weights for %d nodes", len(d.Weights), d.Graph.NumNodes())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &ShardManifest{
+		Name:     d.Name,
+		Shards:   part.K,
+		Nodes:    d.Graph.NumNodes(),
+		Edges:    d.Graph.NumEdges(),
+		CutEdges: part.CutEdges,
+	}
+	for s, sh := range part.Shards {
+		seg := ShardSegment{
+			File:  fmt.Sprintf("shard-%d.v3", s),
+			Map:   fmt.Sprintf("shard-%d.map", s),
+			Owned: sh.Owned,
+			Nodes: len(sh.L2G),
+			Edges: sh.Edges,
+		}
+		w := make([]float64, len(sh.L2G))
+		for li, gid := range sh.L2G {
+			w[li] = d.Weights[gid]
+		}
+		sd := &Dump{
+			Name:      fmt.Sprintf("%s-shard%d", d.Name, s),
+			Graph:     sh.G,
+			Weights:   w,
+			AvgDist:   d.AvgDist,
+			Deviation: d.Deviation,
+		}
+		if err := SaveDumpFileV3(filepath.Join(dir, seg.File), sd); err != nil {
+			return nil, err
+		}
+		if err := saveShardMap(filepath.Join(dir, seg.Map), sh); err != nil {
+			return nil, err
+		}
+		man.Segments = append(man.Segments, seg)
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	err = atomicWriteFile(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, err := w.Write(append(blob, '\n'))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// saveShardMap writes one shard's partition map: ownership window plus the
+// local→global table, CRC-sealed.
+func saveShardMap(path string, sh *graph.Shard) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		buf := make([]byte, 16+4*len(sh.L2G)+4)
+		binary.LittleEndian.PutUint32(buf[0:], shardMapMagic)
+		binary.LittleEndian.PutUint32(buf[4:], shardMapVersion)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(sh.Owned))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(len(sh.L2G)))
+		for i, gid := range sh.L2G {
+			binary.LittleEndian.PutUint32(buf[16+4*i:], uint32(gid))
+		}
+		binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.ChecksumIEEE(buf[:len(buf)-4]))
+		_, err := w.Write(buf)
+		return err
+	})
+}
+
+// loadShardMap reads a partition map written by saveShardMap.
+func loadShardMap(path string, maxNode int) (owned int, l2g []graph.NodeID, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 20 {
+		return 0, nil, fmt.Errorf("storage: shard map %s truncated", path)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != shardMapMagic {
+		return 0, nil, fmt.Errorf("storage: %s is not a shard map", path)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != shardMapVersion {
+		return 0, nil, fmt.Errorf("storage: shard map %s has unsupported version %d", path, v)
+	}
+	owned = int(binary.LittleEndian.Uint32(buf[8:]))
+	count := int(binary.LittleEndian.Uint32(buf[12:]))
+	if len(buf) != 16+4*count+4 {
+		return 0, nil, fmt.Errorf("storage: shard map %s sized %d, want %d entries", path, len(buf), count)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[len(buf)-4:]), crc32.ChecksumIEEE(buf[:len(buf)-4]); got != want {
+		return 0, nil, fmt.Errorf("storage: shard map %s checksum mismatch", path)
+	}
+	if owned < 0 || owned > count {
+		return 0, nil, fmt.Errorf("storage: shard map %s owns %d of %d nodes", path, owned, count)
+	}
+	l2g = make([]graph.NodeID, count)
+	for i := range l2g {
+		gid := int32(binary.LittleEndian.Uint32(buf[16+4*i:]))
+		if gid < 0 || int(gid) >= maxNode {
+			return 0, nil, fmt.Errorf("storage: shard map %s: global id %d out of range", path, gid)
+		}
+		l2g[i] = graph.NodeID(gid)
+	}
+	return owned, l2g, nil
+}
+
+// LoadSharded reads a sharded dump directory written by SaveSharded and
+// reconstructs the partition over the given global graph. The returned dumps
+// back the shard subgraphs (possibly as live memory mappings) and must stay
+// open while the partition is in use; the caller closes them when done.
+func LoadSharded(dir string, g *graph.Graph) (*graph.Partition, []*Dump, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man ShardManifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, nil, fmt.Errorf("storage: manifest: %w", err)
+	}
+	n := g.NumNodes()
+	if man.Nodes != n || man.Edges != g.NumEdges() {
+		return nil, nil, fmt.Errorf("storage: sharded dump cut from a %d-node/%d-edge graph, engine has %d/%d",
+			man.Nodes, man.Edges, n, g.NumEdges())
+	}
+	if man.Shards < 1 || len(man.Segments) != man.Shards {
+		return nil, nil, fmt.Errorf("storage: manifest lists %d segments for %d shards", len(man.Segments), man.Shards)
+	}
+	part := &graph.Partition{
+		K:          man.Shards,
+		Owner:      make([]int32, n),
+		OwnerLocal: make([]int32, n),
+		Shards:     make([]*graph.Shard, man.Shards),
+		CutEdges:   man.CutEdges,
+	}
+	for i := range part.Owner {
+		part.Owner[i] = -1
+	}
+	var dumps []*Dump
+	fail := func(err error) (*graph.Partition, []*Dump, error) {
+		for _, d := range dumps {
+			d.Close()
+		}
+		return nil, nil, err
+	}
+	for s, seg := range man.Segments {
+		d, err := LoadDumpFile(filepath.Join(dir, seg.File))
+		if err != nil {
+			return fail(err)
+		}
+		dumps = append(dumps, d)
+		owned, l2g, err := loadShardMap(filepath.Join(dir, seg.Map), n)
+		if err != nil {
+			return fail(err)
+		}
+		if d.Graph.NumNodes() != len(l2g) || owned != seg.Owned || len(l2g) != seg.Nodes {
+			return fail(fmt.Errorf("storage: shard %d: segment has %d nodes, map has %d (owned %d vs %d)",
+				s, d.Graph.NumNodes(), len(l2g), owned, seg.Owned))
+		}
+		sh := &graph.Shard{
+			G:     d.Graph,
+			Owned: owned,
+			L2G:   l2g,
+			G2L:   make([]int32, n),
+			Edges: d.Graph.NumEdges(),
+		}
+		for i := range sh.G2L {
+			sh.G2L[i] = -1
+		}
+		for li, gid := range l2g {
+			if sh.G2L[gid] != -1 {
+				return fail(fmt.Errorf("storage: shard %d: global node %d appears twice", s, gid))
+			}
+			sh.G2L[gid] = int32(li)
+			if li < owned {
+				if part.Owner[gid] != -1 {
+					return fail(fmt.Errorf("storage: global node %d owned by shards %d and %d", gid, part.Owner[gid], s))
+				}
+				part.Owner[gid] = int32(s)
+				part.OwnerLocal[gid] = int32(li)
+			}
+		}
+		part.Shards[s] = sh
+	}
+	for v, o := range part.Owner {
+		if o == -1 {
+			return fail(fmt.Errorf("storage: global node %d owned by no shard", v))
+		}
+	}
+	return part, dumps, nil
+}

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+// shardTestGraph builds a deterministic random graph plus weights.
+func shardTestGraph(t testing.TB, seed int64, n, m int) (*graph.Graph, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("node %d", i), fmt.Sprintf("desc %d", i))
+	}
+	rels := []graph.RelID{b.Rel("cites"), b.Rel("links"), b.Rel("refers")}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(3)])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	return g, w
+}
+
+// globalEdgeSet renders every directed edge of g as "src>dst:rel", sorted.
+func globalEdgeSet(g *graph.Graph) []string {
+	var out []string
+	for v := 0; v < g.NumNodes(); v++ {
+		dsts, rels := g.OutEdges(graph.NodeID(v))
+		for j, w := range dsts {
+			out = append(out, fmt.Sprintf("%d>%d:%s", v, w, g.RelName(rels[j])))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reconstructEdges rebuilds the global directed edge set from a partition's
+// shard subgraphs: each global edge appears in exactly one shard's owned
+// out-adjacency (its source's owner), so the union over owned rows is the
+// original edge set.
+func reconstructEdges(part *graph.Partition) []string {
+	var out []string
+	for _, sh := range part.Shards {
+		for li := 0; li < sh.Owned; li++ {
+			src := sh.L2G[li]
+			dsts, rels := sh.G.OutEdges(graph.NodeID(li))
+			for j, w := range dsts {
+				out = append(out, fmt.Sprintf("%d>%d:%s", src, sh.L2G[w], sh.G.RelName(rels[j])))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedRoundTrip: partition → SaveSharded → LoadSharded reproduces the
+// partition exactly — ownership, local id layout, per-shard weights — and
+// the reloaded shard subgraphs reconstruct the original CSR edge for edge.
+func TestShardedRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		g, w := shardTestGraph(t, int64(40+k), 60, 150)
+		part, err := graph.PartitionGraph(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "shards")
+		d := &Dump{Name: "roundtrip", Graph: g, Weights: w, AvgDist: 3.5, Deviation: 0.2}
+		man, err := SaveSharded(dir, d, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.Shards != k || man.Nodes != g.NumNodes() || man.Edges != g.NumEdges() || man.CutEdges != part.CutEdges {
+			t.Fatalf("k=%d: manifest %+v", k, man)
+		}
+		got, dumps, err := LoadSharded(dir, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			for _, d := range dumps {
+				d.Close()
+			}
+		}()
+		if got.K != part.K || got.CutEdges != part.CutEdges {
+			t.Fatalf("k=%d: partition shape %d/%d vs %d/%d", k, got.K, got.CutEdges, part.K, part.CutEdges)
+		}
+		for v := range part.Owner {
+			if got.Owner[v] != part.Owner[v] || got.OwnerLocal[v] != part.OwnerLocal[v] {
+				t.Fatalf("k=%d: node %d owner %d/%d vs %d/%d",
+					k, v, got.Owner[v], got.OwnerLocal[v], part.Owner[v], part.OwnerLocal[v])
+			}
+		}
+		for s := range part.Shards {
+			a, b := got.Shards[s], part.Shards[s]
+			if a.Owned != b.Owned || len(a.L2G) != len(b.L2G) || a.Edges != b.Edges {
+				t.Fatalf("k=%d shard %d: shape mismatch", k, s)
+			}
+			for li := range b.L2G {
+				if a.L2G[li] != b.L2G[li] {
+					t.Fatalf("k=%d shard %d: l2g[%d] = %d vs %d", k, s, li, a.L2G[li], b.L2G[li])
+				}
+			}
+			if err := a.G.Validate(); err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+			for li, gid := range b.L2G {
+				if dw := dumps[s].Weights[li]; dw != w[gid] {
+					t.Fatalf("k=%d shard %d: weight[%d] = %v, want %v", k, s, li, dw, w[gid])
+				}
+			}
+		}
+		if !equalStrings(reconstructEdges(got), globalEdgeSet(g)) {
+			t.Fatalf("k=%d: reloaded shards do not reconstruct the original CSR", k)
+		}
+	}
+}
+
+// TestShardedLoadRejectsMismatch: a sharded dump cut from a different graph
+// is rejected instead of silently serving wrong topology.
+func TestShardedLoadRejectsMismatch(t *testing.T) {
+	g, w := shardTestGraph(t, 1, 40, 90)
+	part, err := graph.PartitionGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := SaveSharded(dir, &Dump{Name: "x", Graph: g, Weights: w}, part); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := shardTestGraph(t, 2, 41, 90)
+	if _, _, err := LoadSharded(dir, other); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+}
+
+// FuzzPartitionRoundTrip drives arbitrary graphs and shard counts through
+// partition → per-shard v3 dump → reload, demanding the reloaded partition
+// reconstructs the exact original CSR (the property the sharded engine's
+// correctness rests on) and that ownership survives the disk round trip.
+func FuzzPartitionRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(60))
+	f.Add(int64(7), uint8(1), uint8(3))
+	f.Add(int64(9), uint8(8), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, k uint8, sz uint8) {
+		n := 1 + int(sz)
+		kk := 1 + int(k)%8
+		if kk > n {
+			kk = n
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(fmt.Sprintf("n%d", i), "")
+		}
+		rels := []graph.RelID{b.Rel("a"), b.Rel("b")}
+		m := rng.Intn(3*n + 1)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rels[rng.Intn(2)])
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := graph.PartitionGraph(g, kk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := make([]float64, n)
+		dir := t.TempDir()
+		if _, err := SaveSharded(dir, &Dump{Name: "fuzz", Graph: g, Weights: w}, part); err != nil {
+			t.Fatal(err)
+		}
+		got, dumps, err := LoadSharded(dir, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			for _, d := range dumps {
+				d.Close()
+			}
+		}()
+		for v := range part.Owner {
+			if got.Owner[v] != part.Owner[v] {
+				t.Fatalf("node %d owner %d, want %d", v, got.Owner[v], part.Owner[v])
+			}
+		}
+		if !equalStrings(reconstructEdges(got), globalEdgeSet(g)) {
+			t.Fatal("reloaded shards do not reconstruct the original CSR")
+		}
+	})
+}

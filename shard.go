@@ -1,0 +1,199 @@
+package wikisearch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wikisearch/internal/core"
+	"wikisearch/internal/graph"
+	"wikisearch/internal/shard"
+	"wikisearch/internal/storage"
+)
+
+// ShardStats is a snapshot of the sharded runtime's cumulative serving
+// totals plus the static partition shape; see Engine.ShardStats.
+type ShardStats = shard.Stats
+
+// ShardInfo describes how one query's sharded execution went; attached to
+// Result.Shard on searches served by the sharded runtime.
+type ShardInfo struct {
+	// Shards is the partition's shard count.
+	Shards int
+	// Levels is the number of BFS levels the coordinator ran.
+	Levels int
+	// Messages is the number of boundary activations exchanged across
+	// shards over all levels.
+	Messages int64
+	// Exchange and Merge are the coordinator's wall time applying boundary
+	// messages and merging Central Nodes / absorbing matrices.
+	Exchange time.Duration
+	Merge    time.Duration
+	// Imbalance is max/mean of the shards' busy time (1.0 = perfectly
+	// balanced); Stall is max−mean, the wait the slowest shard imposed on
+	// the rest across the per-level barriers.
+	Imbalance float64
+	Stall     time.Duration
+}
+
+// EnableSharding partitions the engine's graph into n edge-cut shards and
+// routes subsequent CPU-Par/Sequential searches through the in-process
+// sharded runtime: per-shard bottom-up kernels with per-level cross-shard
+// frontier exchange and a monotone global top-k merge. Results are
+// bit-identical to the solo path. The coordinator for each shard count is
+// built once and cached on the engine, so toggling sharding on/off or
+// switching between counts is cheap after the first call; Close releases
+// the cache. Not meant to race with in-flight searches (they finish on the
+// runtime they started with).
+func (e *Engine) EnableSharding(n int) error {
+	if n < 1 {
+		return fmt.Errorf("wikisearch: shard count %d < 1", n)
+	}
+	e.mu.Lock()
+	co := e.shardCache[n]
+	e.mu.Unlock()
+	if co == nil {
+		top, err := shard.NewTopology(e.g, n)
+		if err != nil {
+			return err
+		}
+		co = shard.NewCoordinator(top)
+		e.mu.Lock()
+		if e.shardCache == nil {
+			e.shardCache = make(map[int]*shard.Coordinator)
+		}
+		e.shardCache[n] = co
+		e.mu.Unlock()
+	}
+	e.setSharding(co, nil)
+	return nil
+}
+
+// SaveSharded partitions the engine's graph into n edge-cut shards and
+// writes the sharded dump layout under dir: a manifest plus one mmap-able v3
+// segment and partition-map file per shard. EnableShardingFrom loads it
+// without re-partitioning.
+func (e *Engine) SaveSharded(dir string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("wikisearch: shard count %d < 1", n)
+	}
+	part, err := graph.PartitionGraph(e.g, n)
+	if err != nil {
+		return err
+	}
+	d := &storage.Dump{
+		Name:      e.name,
+		Graph:     e.g,
+		Weights:   e.weights,
+		AvgDist:   e.avgDist,
+		Deviation: e.stddev,
+	}
+	_, err = storage.SaveSharded(dir, d, part)
+	return err
+}
+
+// EnableShardingFrom enables sharded search from a sharded dump directory
+// written by SaveSharded: shard subgraphs come straight off their own v3
+// segments (memory-mapped where the platform allows), skipping the
+// partitioning work. The segments must have been cut from this engine's
+// graph.
+func (e *Engine) EnableShardingFrom(dir string) error {
+	part, dumps, err := storage.LoadSharded(dir, e.g)
+	if err != nil {
+		return err
+	}
+	e.setSharding(shard.NewCoordinator(shard.FromPartition(e.g, part)), dumps)
+	return nil
+}
+
+// DisableSharding returns subsequent searches to the solo path.
+func (e *Engine) DisableSharding() { e.setSharding(nil, nil) }
+
+// setSharding swaps the sharded runtime, releasing the previous one's worker
+// pools and any dump mappings backing its shard subgraphs. Coordinators held
+// in the engine's cache are kept warm for the next EnableSharding instead of
+// being closed; closeShardCache releases them.
+func (e *Engine) setSharding(co *shard.Coordinator, dumps []*storage.Dump) {
+	old := e.sharding.Swap(co)
+	e.mu.Lock()
+	oldDumps := e.shardDumps
+	e.shardDumps = dumps
+	cached := false
+	for _, c := range e.shardCache {
+		if c == old {
+			cached = true
+			break
+		}
+	}
+	e.mu.Unlock()
+	if old != nil && old != co && !cached {
+		old.Close()
+	}
+	for _, d := range oldDumps {
+		d.Close()
+	}
+}
+
+// closeShardCache closes every cached coordinator; the active one (if any)
+// was swapped out by the caller first.
+func (e *Engine) closeShardCache() {
+	e.mu.Lock()
+	cache := e.shardCache
+	e.shardCache = nil
+	e.mu.Unlock()
+	for _, c := range cache {
+		c.Close()
+	}
+}
+
+// ShardCount returns the active shard count (0 when sharding is disabled).
+func (e *Engine) ShardCount() int {
+	if co := e.sharding.Load(); co != nil {
+		return co.Topology().N
+	}
+	return 0
+}
+
+// ShardStats snapshots the sharded runtime's cumulative totals; ok is false
+// when sharding is disabled.
+func (e *Engine) ShardStats() (st ShardStats, ok bool) {
+	if co := e.sharding.Load(); co != nil {
+		return co.Stats(), true
+	}
+	return ShardStats{}, false
+}
+
+// shardEligible reports whether the variant runs on the sharded runtime.
+// The dynamic, GPU and baseline variants keep their dedicated paths.
+func shardEligible(v Variant) bool { return v == CPUPar || v == Sequential }
+
+// runSharded executes a prepared query on the sharded runtime.
+func (e *Engine) runSharded(ctx context.Context, co *shard.Coordinator, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
+	p := e.params(q)
+	if ctx != nil && ctx != context.Background() {
+		p.Ctx = ctx
+	}
+	if q.DisableActivation {
+		in.Levels = e.zeroLevels()
+	} else {
+		in.Levels = e.activationLevels(p.Alpha, p.Threads)
+	}
+	res, info, events, dropped, err := co.Search(in, p, e.TracingEnabled())
+	m := traceMeta{start: start, groupCols: len(in.Sources), events: events, dropped: dropped, shard: info}
+	if err != nil {
+		e.collectTrace(ctx, q, terms, nil, err, m)
+		return nil, err
+	}
+	out := e.resolve(terms, res, 0)
+	out.Shard = &ShardInfo{
+		Shards:    info.Shards,
+		Levels:    info.Levels,
+		Messages:  info.Messages,
+		Exchange:  info.Exchange,
+		Merge:     info.Merge,
+		Imbalance: info.Imbalance,
+		Stall:     info.Stall,
+	}
+	e.collectTrace(ctx, q, terms, out, nil, m)
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package wikisearch
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestEngineShardedEquivalence: with sharding enabled at several shard
+// counts, the engine's public Search returns exactly what the solo path
+// returns — answers, depth, candidates — for both eligible variants, and
+// stamps Result.Shard with a consistent execution summary.
+func TestEngineShardedEquivalence(t *testing.T) {
+	eng := newTestEngine(t)
+	defer eng.Close()
+	queries := []Query{
+		{Text: "xml rdf sql"},
+		{Text: "xml rdf sql", Variant: Sequential},
+		{Text: "database query", TopK: 3},
+	}
+	solo := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shard != nil {
+			t.Fatal("solo search carries shard info")
+		}
+		solo[i] = res
+	}
+	for _, n := range []int{1, 2, 4} {
+		if err := eng.EnableSharding(n); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.ShardCount(); got != n {
+			t.Fatalf("ShardCount = %d, want %d", got, n)
+		}
+		for i, q := range queries {
+			res, err := eng.Search(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("shards=%d query %d", n, i)
+			if res.Shard == nil || res.Shard.Shards != n {
+				t.Fatalf("%s: shard info = %+v", label, res.Shard)
+			}
+			if res.Depth != solo[i].Depth || res.Candidates != solo[i].Candidates {
+				t.Fatalf("%s: depth/candidates %d/%d vs solo %d/%d",
+					label, res.Depth, res.Candidates, solo[i].Depth, solo[i].Candidates)
+			}
+			if !reflect.DeepEqual(res.Answers, solo[i].Answers) {
+				t.Fatalf("%s: answers differ from solo", label)
+			}
+		}
+		st, ok := eng.ShardStats()
+		if !ok || st.Shards != n || st.Queries != int64(len(queries)) || len(st.PerShard) != n {
+			t.Fatalf("shards=%d: stats = %+v ok=%v", n, st, ok)
+		}
+	}
+	eng.DisableSharding()
+	if _, ok := eng.ShardStats(); ok || eng.ShardCount() != 0 {
+		t.Fatal("sharding still reported after disable")
+	}
+	res, err := eng.Search(context.Background(), queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shard != nil {
+		t.Fatal("post-disable search still sharded")
+	}
+}
+
+// TestEngineShardedDumpRoundTrip: SaveSharded → EnableShardingFrom serves
+// from disk-loaded shard segments with answers identical to in-memory
+// sharding and the solo path.
+func TestEngineShardedDumpRoundTrip(t *testing.T) {
+	eng := newTestEngine(t)
+	defer eng.Close()
+	q := Query{Text: "xml rdf sql"}
+	solo, err := eng.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := eng.SaveSharded(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableShardingFrom(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d", got)
+	}
+	res, err := eng.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Answers, solo.Answers) {
+		t.Fatal("disk-loaded sharded answers differ from solo")
+	}
+	if res.Shard == nil || res.Shard.Shards != 4 {
+		t.Fatalf("shard info = %+v", res.Shard)
+	}
+	eng.DisableSharding()
+}
+
+// TestEngineShardedTraceCollected: sharded searches land in the trace
+// collector with shard attribution and the coordinator's exchange/merge
+// spans available through PhaseNs.
+func TestEngineShardedTraceCollected(t *testing.T) {
+	eng := newTestEngine(t)
+	defer eng.Close()
+	if err := eng.EnableSharding(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(context.Background(), Query{Text: "xml rdf sql"}); err != nil {
+		t.Fatal(err)
+	}
+	recent := eng.Traces().Recent()
+	if len(recent) == 0 {
+		t.Fatal("no trace collected")
+	}
+	qt := recent[0]
+	if qt.Shards != 2 {
+		t.Fatalf("trace shards = %d", qt.Shards)
+	}
+	if len(qt.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+}
+
+// TestEngineShardedIneligibleVariants: the dynamic and GPU variants bypass
+// the sharded runtime and still agree with the solo baseline.
+func TestEngineShardedIneligibleVariants(t *testing.T) {
+	eng := newTestEngine(t)
+	defer eng.Close()
+	base, err := eng.Search(context.Background(), Query{Text: "xml rdf sql"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableSharding(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{CPUParD, GPUPar} {
+		res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shard != nil {
+			t.Fatalf("%v ran sharded", v)
+		}
+		if !reflect.DeepEqual(res.Answers, base.Answers) {
+			t.Fatalf("%v answers differ", v)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"wikisearch/internal/shard"
 	"wikisearch/internal/trace"
 )
 
@@ -66,6 +67,7 @@ type traceMeta struct {
 	groupCols    int
 	events       []trace.Event
 	dropped      int
+	shard        *shard.RunInfo
 }
 
 // collectTrace assembles and retains one completed query's trace. Cold
@@ -98,6 +100,11 @@ func (e *Engine) collectTrace(ctx context.Context, q Query, terms []string, res 
 	if m.batched {
 		qt.BatchQueries = m.batchQueries
 		qt.BatchColumns = m.batchColumns
+	}
+	if m.shard != nil {
+		qt.Shards = m.shard.Shards
+		qt.ShardMessages = m.shard.Messages
+		qt.ShardImbalance = m.shard.Imbalance
 	}
 	if err != nil {
 		qt.Err = err.Error()
