@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench allocguard fuzzsmoke fmt fmtcheck
+.PHONY: check build test vet lint lint-cold race bench allocguard fuzzsmoke fmt fmtcheck
 
 check: fmtcheck vet lint race allocguard fuzzsmoke
 
@@ -19,10 +19,15 @@ vet:
 	$(GO) vet ./...
 
 # wikilint runs the engine-specific analyzers (atomicfield, hotpathalloc,
-# nocopy, ctxhandler) over the whole module; see internal/analysis and
-# DESIGN.md §8.
+# nocopy, ctxhandler, mmapview, singlewriter, lifecycle, durability and the
+# directives validator) over the whole module; see internal/analysis and
+# DESIGN.md §8/§13. Warm runs replay from the content-hash result cache;
+# lint-cold forces a fresh analysis.
 lint:
 	$(GO) run ./cmd/wikilint ./...
+
+lint-cold:
+	$(GO) run ./cmd/wikilint -nocache ./...
 
 race:
 	$(GO) test -race ./...

@@ -315,7 +315,7 @@ func (b *batcher) dispatchLocked() {
 		b.ready = b.ready[1:]
 		b.running++
 		b.runningThreads += ob.p.Threads
-		go b.exec(ob)
+		go b.exec(ob) //wikisearch:daemon bounded by batch execution; joined via the running counter under b.mu
 	}
 }
 

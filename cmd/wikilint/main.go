@@ -3,25 +3,36 @@
 //
 // Usage:
 //
-//	wikilint [-list] [patterns ...]
+//	wikilint [-list] [-format text|json|sarif|github] [-nocache] [-cache-dir dir] [patterns ...]
 //
 // Patterns are directory paths relative to the current module, "./..." by
 // default. The command exits 0 when the tree is clean, 1 when any analyzer
 // reports a finding, and 2 on load or usage errors.
+//
+// Results are cached under a content hash of the module source (every .go
+// file plus go.mod, the pattern list, the analyzer set and the Go version),
+// so a warm run skips loading and type-checking entirely; -nocache forces a
+// fresh analysis.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wikisearch/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, sarif, or github (workflow annotations)")
+	nocache := flag.Bool("nocache", false, "bypass the result cache and re-analyze")
+	cacheDir := flag.String("cache-dir", analysis.DefaultCacheDir(), "result cache directory")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: wikilint [-list] [patterns ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wikilint [-list] [-format text|json|sarif|github] [-nocache] [-cache-dir dir] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,11 +44,30 @@ func main() {
 		}
 		return
 	}
+	render, ok := formatters[*format]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wikilint: unknown -format %q (text, json, sarif, github)\n", *format)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	key := ""
+	if modDir, err := analysis.FindModuleDir("."); err == nil {
+		if k, err := analysis.CacheKey(modDir, patterns, analyzers); err == nil {
+			key = k
+		}
+	}
+	if !*nocache && key != "" {
+		if diags, hit := analysis.LookupCache(*cacheDir, key); hit {
+			report(render, diags)
+			return
+		}
+	}
+
 	prog, err := analysis.LoadPackages(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wikilint: %v\n", err)
@@ -54,12 +84,141 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.RunAnalyzers(prog, analyzers)
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	diags := analysis.ResolveDiagnostics(prog, analysis.RunAnalyzers(prog, analyzers))
+	if key != "" {
+		analysis.SaveCache(*cacheDir, key, diags) // best-effort
 	}
+	report(render, diags)
+}
+
+// report renders the findings and exits 1 when there are any.
+func report(render func([]analysis.CachedDiagnostic), diags []analysis.CachedDiagnostic) {
+	render(diags)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wikilint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+var formatters = map[string]func([]analysis.CachedDiagnostic){
+	"text":   renderText,
+	"json":   renderJSON,
+	"sarif":  renderSARIF,
+	"github": renderGitHub,
+}
+
+func renderText(diags []analysis.CachedDiagnostic) {
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+}
+
+func renderJSON(diags []analysis.CachedDiagnostic) {
+	if diags == nil {
+		diags = []analysis.CachedDiagnostic{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(diags)
+}
+
+// renderGitHub emits GitHub Actions workflow commands, which the runner
+// turns into inline PR annotations.
+func renderGitHub(diags []analysis.CachedDiagnostic) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	escProp := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=wikilint/%s::%s\n",
+			escProp.Replace(d.File), d.Line, d.Col, escProp.Replace(d.Analyzer), esc.Replace(d.Message))
+	}
+	renderText(diags) // keep the log readable alongside the annotations
+}
+
+// SARIF 2.1.0, the minimal subset GitHub code scanning ingests.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string     `json:"id"`
+	ShortDescription sarifDText `json:"shortDescription"`
+}
+
+type sarifDText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifDText      `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func renderSARIF(diags []analysis.CachedDiagnostic) {
+	rules := []sarifRule{}
+	seen := map[string]bool{}
+	for _, a := range analysis.All() {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifDText{a.Doc}})
+		}
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifDText{d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.File},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wikilint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(log)
 }

@@ -95,7 +95,7 @@ func main() {
 			}
 		}
 		if *dotOut != "" && len(res.Answers) > 0 {
-			f, err := os.Create(*dotOut)
+			f, err := os.Create(*dotOut) //wikisearch:volatile best-effort visualization output, not engine state
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return
@@ -103,7 +103,10 @@ func main() {
 			if err := res.Answers[0].WriteDOT(f); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
 			fmt.Printf("wrote %s (render with: dot -Tsvg %s -o answer.svg)\n", *dotOut, *dotOut)
 		}
 	}

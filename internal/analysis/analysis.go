@@ -9,18 +9,28 @@
 // The driver is built on the standard library only (go/parser, go/types and
 // the go/importer source importer) — the repository's stdlib-only rule
 // excludes golang.org/x/tools. Source directives recognized by the suite
-// are documented in DESIGN.md §8:
+// are documented in DESIGN.md §8 and §13:
 //
-//	//wikisearch:atomic      struct field: elements only via sync/atomic
-//	//wikisearch:atomicalias func: result aliases atomic storage
-//	//wikisearch:exclusive   func: exempt from the atomic discipline
-//	                         (documented exclusive access)
-//	//wikisearch:hotpath     func: must be transitively allocation-free
-//	//wikisearch:coldpath    func: stops the hotpath transitive walk
-//	//wikisearch:allocok     line: suppress one hotpathalloc finding
-//	//wikisearch:nocopy      type: values must never be copied
-//	//wikisearch:bgcontext   func: supplies context.Background; must not be
-//	                         called from HTTP handlers
+//	//wikisearch:atomic       struct field: elements only via sync/atomic
+//	//wikisearch:atomicalias  func: result aliases atomic storage
+//	//wikisearch:exclusive    func: exempt from the atomic discipline
+//	                          (documented exclusive access)
+//	//wikisearch:hotpath      func: must be transitively allocation-free
+//	//wikisearch:coldpath     func: stops the hotpath transitive walk
+//	//wikisearch:allocok      line: suppress one hotpathalloc finding
+//	//wikisearch:nocopy       type: values must never be copied
+//	//wikisearch:bgcontext    func: supplies context.Background; must not be
+//	                          called from HTTP handlers
+//	//wikisearch:mmapview     func: may mint unsafe views over a mapping
+//	//wikisearch:viewholder   type: may hold mmap views; must reach a Close
+//	//wikisearch:singlewriter struct field: one annotated writer, reads via
+//	                          annotated drain accessors
+//	//wikisearch:writer       func: the owning writer of singlewriter fields
+//	//wikisearch:drain        func: blessed read-side accessor for
+//	                          singlewriter fields
+//	//wikisearch:daemon       func or line: goroutine intentionally lives
+//	                          for the process lifetime
+//	//wikisearch:volatile     line: file write intentionally non-durable
 package analysis
 
 import (
@@ -69,6 +79,11 @@ func All() []*Analyzer {
 		HotPathAllocAnalyzer,
 		NoCopyAnalyzer,
 		CtxHandlerAnalyzer,
+		MmapViewAnalyzer,
+		SingleWriterAnalyzer,
+		LifecycleAnalyzer,
+		DurabilityAnalyzer,
+		DirectivesAnalyzer,
 	}
 }
 

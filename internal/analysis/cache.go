@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The result cache makes warm `make lint` cheap: analyzing the module means
+// parsing and type-checking every package plus its stdlib imports (seconds),
+// while hashing the source tree is milliseconds. The key covers everything
+// the findings depend on — every .go file (testdata included, so analyzer
+// and fixture edits invalidate too), go.mod, the pattern list, the analyzer
+// set, the Go version and a schema tag — so a hit can only replay findings
+// that a fresh run would reproduce byte for byte.
+const cacheSchema = "wikilint-cache-v1"
+
+// CachedDiagnostic is one finding with its position resolved to
+// file/line/column, the serializable form stored in the result cache and
+// consumed by the output formatters.
+type CachedDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ResolveDiagnostics renders raw diagnostics into their serializable
+// positioned form, with File relative to the module root when possible.
+func ResolveDiagnostics(prog *Program, diags []Diagnostic) []CachedDiagnostic {
+	out := make([]CachedDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		file := p.Filename
+		if prog.ModuleDir != "" {
+			if rel, err := filepath.Rel(prog.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, CachedDiagnostic{
+			File: file, Line: p.Line, Col: p.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	return out
+}
+
+// FindModuleDir returns the root of the module enclosing dir.
+func FindModuleDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	modDir, _, err := findModule(abs)
+	return modDir, err
+}
+
+// CacheKey hashes everything a run's findings depend on and returns the
+// hex-encoded digest.
+func CacheKey(moduleDir string, patterns []string, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, cacheSchema+"\n")
+	io.WriteString(h, runtime.Version()+"\n")
+	for _, p := range patterns {
+		fmt.Fprintf(h, "pat %s\n", p)
+	}
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	var files []string
+	err := filepath.WalkDir(moduleDir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != moduleDir && (strings.HasPrefix(name, ".") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") || d.Name() == "go.mod" {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, p := range files {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(moduleDir, p)
+		if err != nil {
+			rel = p
+		}
+		fmt.Fprintf(h, "file %s %d\n", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DefaultCacheDir returns the per-user wikilint cache directory.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "wikilint")
+}
+
+// LookupCache returns the findings stored under key, or found=false on any
+// miss or decode problem (a corrupt entry is just a miss).
+func LookupCache(cacheDir, key string) (diags []CachedDiagnostic, found bool) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	if json.Unmarshal(data, &diags) != nil {
+		return nil, false
+	}
+	return diags, true
+}
+
+// SaveCache stores the findings under key. Best-effort: the entry is
+// regenerated on the next miss, so callers may ignore the error.
+func SaveCache(cacheDir, key string, diags []CachedDiagnostic) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	if diags == nil {
+		diags = []CachedDiagnostic{}
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cacheDir, key+".json"), data, 0o644) //wikisearch:volatile cache entry, regenerated on the next miss
+}

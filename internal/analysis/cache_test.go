@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one package.
+func writeModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module cachetest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const dirtySrc = `package main
+
+import "os"
+
+func report(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`
+
+const cleanSrc = `package main
+
+import "os"
+
+func report(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //wikisearch:volatile throwaway report
+}
+`
+
+// TestCacheInvalidation proves the content-hash cache replays findings on a
+// hit and re-analyzes after a source edit: the key must change when a file
+// changes, the stale entry must not be served for the new key, and a fresh
+// run over the edited tree must produce the new result.
+func TestCacheInvalidation(t *testing.T) {
+	mod := t.TempDir()
+	cacheDir := t.TempDir()
+	writeModule(t, mod, dirtySrc)
+	analyzers := All()
+	patterns := []string{"./..."}
+
+	run := func() []CachedDiagnostic {
+		prog, err := LoadPackages(mod, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range prog.Packages {
+			for _, e := range pkg.Errs {
+				t.Fatalf("load error: %v", e)
+			}
+		}
+		return ResolveDiagnostics(prog, RunAnalyzers(prog, analyzers))
+	}
+
+	key1, err := CacheKey(mod, patterns, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := LookupCache(cacheDir, key1); hit {
+		t.Fatal("empty cache reported a hit")
+	}
+	diags1 := run()
+	if len(diags1) != 1 || diags1[0].Analyzer != "durability" {
+		t.Fatalf("want one durability finding from the dirty module, got %+v", diags1)
+	}
+	if err := SaveCache(cacheDir, key1, diags1); err != nil {
+		t.Fatal(err)
+	}
+	cached, hit := LookupCache(cacheDir, key1)
+	if !hit || len(cached) != 1 || cached[0] != diags1[0] {
+		t.Fatalf("cache replay mismatch: hit=%v got %+v want %+v", hit, cached, diags1)
+	}
+
+	// Edit the file: the key must change so the next run re-analyzes.
+	writeModule(t, mod, cleanSrc)
+	key2, err := CacheKey(mod, patterns, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2 == key1 {
+		t.Fatal("cache key unchanged after editing a source file")
+	}
+	if _, hit := LookupCache(cacheDir, key2); hit {
+		t.Fatal("edited module hit the stale cache entry")
+	}
+	diags2 := run()
+	if len(diags2) != 0 {
+		t.Fatalf("want clean re-analysis after the fix, got %+v", diags2)
+	}
+	if err := SaveCache(cacheDir, key2, diags2); err != nil {
+		t.Fatal(err)
+	}
+	cached2, hit := LookupCache(cacheDir, key2)
+	if !hit || len(cached2) != 0 {
+		t.Fatalf("clean entry replay mismatch: hit=%v got %+v", hit, cached2)
+	}
+
+	// The old entry is still intact under its own key.
+	if old, hit := LookupCache(cacheDir, key1); !hit || len(old) != 1 {
+		t.Fatalf("original entry lost: hit=%v got %+v", hit, old)
+	}
+}
+
+// TestCacheKeyCoversAnalyzerSet proves enabling a different analyzer set
+// cannot replay results computed under another.
+func TestCacheKeyCoversAnalyzerSet(t *testing.T) {
+	mod := t.TempDir()
+	writeModule(t, mod, cleanSrc)
+	all, err := CacheKey(mod, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := CacheKey(mod, []string{"./..."}, All()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == subset {
+		t.Fatal("cache key ignores the analyzer set")
+	}
+	other, err := CacheKey(mod, []string{"./internal/..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == other {
+		t.Fatal("cache key ignores the pattern list")
+	}
+}

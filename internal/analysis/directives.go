@@ -20,22 +20,45 @@ type FuncInfo struct {
 // Index is the module-wide directive and declaration index shared by the
 // analyzers: hotpathalloc walks call chains across packages through Funcs,
 // atomicfield consults the annotated-field and alias-function sets, nocopy
-// the annotated types, ctxhandler the bgcontext functions.
+// the annotated types, ctxhandler the bgcontext functions, mmapview the
+// view-minting functions and viewholder types, singlewriter the annotated
+// fields.
 type Index struct {
-	Funcs     map[string]*FuncInfo
-	ByDecl    map[*ast.FuncDecl]*FuncInfo
-	Atomic    map[string]bool // "pkg.Type.field" with //wikisearch:atomic
-	Alias     map[string]bool // func keys with //wikisearch:atomicalias
-	NoCopy    map[string]bool // "pkg.Type" with //wikisearch:nocopy
-	BgContext map[string]bool // func keys with //wikisearch:bgcontext
-	allocOK   map[string]map[int]bool
+	Funcs        map[string]*FuncInfo
+	ByDecl       map[*ast.FuncDecl]*FuncInfo
+	Atomic       map[string]bool // "pkg.Type.field" with //wikisearch:atomic
+	Alias        map[string]bool // func keys with //wikisearch:atomicalias
+	NoCopy       map[string]bool // "pkg.Type" with //wikisearch:nocopy
+	BgContext    map[string]bool // func keys with //wikisearch:bgcontext
+	MmapView     map[string]bool // func keys with //wikisearch:mmapview
+	SingleWriter map[string]bool // "pkg.Type.field" with //wikisearch:singlewriter
+	ViewHolder   map[string]bool // "pkg.Type" with //wikisearch:viewholder
+	// HolderFields maps a viewholder type key to the type keys of its
+	// same-package named field types (pointers/slices stripped), the edges
+	// the mmapview anchoring fixpoint walks toward a Close method.
+	HolderFields map[string][]string
+	lines        map[string]map[string]map[int]bool // directive → file → line
 }
 
 // AllocOK reports whether the line holding pos carries a
 // //wikisearch:allocok suppression comment.
 func (ix *Index) AllocOK(fset *token.FileSet, pos token.Pos) bool {
+	return ix.LineDirective("allocok", fset, pos)
+}
+
+// LineDirective reports whether the line holding pos carries the given
+// line-scoped //wikisearch directive (allocok, daemon, volatile).
+func (ix *Index) LineDirective(name string, fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
-	return ix.allocOK[p.Filename][p.Line]
+	return ix.lines[name][p.Filename][p.Line]
+}
+
+// lineDirectives are the directives recorded by source line rather than by
+// declaration: they suppress or scope one finding at one site.
+var lineDirectives = map[string]bool{
+	"allocok":  true,
+	"daemon":   true,
+	"volatile": true,
 }
 
 // directivesOf extracts wikisearch directives from comment groups. A
@@ -99,13 +122,17 @@ func funcKey(pkgPath, recv, name string) string {
 // dependencies) for declarations and directives.
 func buildIndex(prog *Program) *Index {
 	ix := &Index{
-		Funcs:     map[string]*FuncInfo{},
-		ByDecl:    map[*ast.FuncDecl]*FuncInfo{},
-		Atomic:    map[string]bool{},
-		Alias:     map[string]bool{},
-		NoCopy:    map[string]bool{},
-		BgContext: map[string]bool{},
-		allocOK:   map[string]map[int]bool{},
+		Funcs:        map[string]*FuncInfo{},
+		ByDecl:       map[*ast.FuncDecl]*FuncInfo{},
+		Atomic:       map[string]bool{},
+		Alias:        map[string]bool{},
+		NoCopy:       map[string]bool{},
+		BgContext:    map[string]bool{},
+		MmapView:     map[string]bool{},
+		SingleWriter: map[string]bool{},
+		ViewHolder:   map[string]bool{},
+		HolderFields: map[string][]string{},
+		lines:        map[string]map[string]map[int]bool{},
 	}
 	for _, pkg := range prog.byPath {
 		if pkg == nil {
@@ -121,15 +148,27 @@ func buildIndex(prog *Program) *Index {
 func (ix *Index) scanFile(prog *Program, pkg *Package, f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, directivePrefix+"allocok") {
-				p := prog.Fset.Position(c.Pos())
-				m := ix.allocOK[p.Filename]
-				if m == nil {
-					m = map[int]bool{}
-					ix.allocOK[p.Filename] = m
-				}
-				m[p.Line] = true
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
 			}
+			name, _, _ := strings.Cut(rest, " ")
+			name = strings.TrimSpace(name)
+			if !lineDirectives[name] {
+				continue
+			}
+			p := prog.Fset.Position(c.Pos())
+			byFile := ix.lines[name]
+			if byFile == nil {
+				byFile = map[string]map[int]bool{}
+				ix.lines[name] = byFile
+			}
+			m := byFile[p.Filename]
+			if m == nil {
+				m = map[int]bool{}
+				byFile[p.Filename] = m
+			}
+			m[p.Line] = true
 		}
 	}
 	for _, decl := range f.Decls {
@@ -149,6 +188,9 @@ func (ix *Index) scanFile(prog *Program, pkg *Package, f *ast.File) {
 			if fi.Directives["bgcontext"] {
 				ix.BgContext[fi.Key] = true
 			}
+			if fi.Directives["mmapview"] {
+				ix.MmapView[fi.Key] = true
+			}
 		case *ast.GenDecl:
 			if d.Tok != token.TYPE {
 				continue
@@ -159,20 +201,33 @@ func (ix *Index) scanFile(prog *Program, pkg *Package, f *ast.File) {
 					continue
 				}
 				tdirs := directivesOf(d.Doc, ts.Doc, ts.Comment)
+				typeKey := pkg.Path + "." + ts.Name.Name
 				if tdirs["nocopy"] {
-					ix.NoCopy[pkg.Path+"."+ts.Name.Name] = true
+					ix.NoCopy[typeKey] = true
+				}
+				if tdirs["viewholder"] {
+					ix.ViewHolder[typeKey] = true
 				}
 				st, ok := ts.Type.(*ast.StructType)
 				if !ok || st.Fields == nil {
 					continue
 				}
 				for _, field := range st.Fields.List {
-					fdirs := directivesOf(field.Doc, field.Comment)
-					if !fdirs["atomic"] {
-						continue
+					if tdirs["viewholder"] {
+						if base := fieldBaseIdent(field.Type); base != "" {
+							ix.HolderFields[typeKey] = append(ix.HolderFields[typeKey], pkg.Path+"."+base)
+						}
 					}
-					for _, name := range field.Names {
-						ix.Atomic[pkg.Path+"."+ts.Name.Name+"."+name.Name] = true
+					fdirs := directivesOf(field.Doc, field.Comment)
+					if fdirs["atomic"] {
+						for _, name := range field.Names {
+							ix.Atomic[typeKey+"."+name.Name] = true
+						}
+					}
+					if fdirs["singlewriter"] {
+						for _, name := range field.Names {
+							ix.SingleWriter[typeKey+"."+name.Name] = true
+						}
 					}
 				}
 			}
@@ -255,6 +310,26 @@ func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 		fn(n, stack)
 		return true
 	})
+}
+
+// fieldBaseIdent strips pointers, slices, arrays and parens off a struct
+// field's type expression down to a bare same-package identifier, or "".
+// Used to record the anchoring edges between viewholder types.
+func fieldBaseIdent(t ast.Expr) string {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.ArrayType:
+			t = e.Elt
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
 }
 
 // namedKey renders a named type as "pkgpath.Name", or "".

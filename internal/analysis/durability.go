@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DurabilityAnalyzer enforces the fsync-atomic-write contract: a file the
+// engine creates is only durable once its data is fsync'd and every error
+// along the way has been observed. Silent data loss here is worse than a
+// crash — a truncated dump that loads is a corrupted index. Per function:
+//
+//   - locals opened for writing (os.Create, or os.OpenFile with write
+//     flags) are tracked; calling Close or Sync on one as a bare statement
+//     discards the flush error and is flagged (a deferred Close is
+//     accepted as the error-path backstop — the success path must still
+//     check explicitly);
+//   - os.Rename as a bare statement discards the commit error and is
+//     flagged;
+//   - a function that opens a file for writing but never calls Sync leaves
+//     the data in the page cache across a crash and is flagged at the
+//     opening call;
+//   - os.WriteFile never fsyncs and is always flagged.
+//
+// Sites that genuinely do not need durability (benchmark reports, debug
+// visualizations, best-effort cleanup) carry a //wikisearch:volatile line
+// directive with the rationale.
+var DurabilityAnalyzer = &Analyzer{
+	Name: "durability",
+	Doc:  "created or renamed files must have checked Sync/Close errors on all paths",
+	Run:  runDurability,
+}
+
+func runDurability(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &durChecker{pass: pass}
+			c.gatherWriters(fd.Body)
+			c.checkBody(fd.Body)
+		}
+	}
+}
+
+type durChecker struct {
+	pass    *Pass
+	writers map[types.Object]token.Pos // written file local → opening call pos
+	synced  bool                       // body contains f.Sync() on a tracked file
+}
+
+// volatileLine reports whether the line at pos carries //wikisearch:volatile.
+func (c *durChecker) volatileLine(pos token.Pos) bool {
+	return c.pass.Prog.Index.LineDirective("volatile", c.pass.Prog.Fset, pos)
+}
+
+// isOSCall reports whether call is os.<name>.
+func isOSCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	f := calleeOf(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "os" && f.Name() == name
+}
+
+// opensForWrite reports whether call opens a file with write intent:
+// os.Create always, os.OpenFile when its flags name O_WRONLY / O_RDWR /
+// O_CREATE / O_APPEND / O_TRUNC (or cannot be read syntactically, in which
+// case write intent is assumed).
+func opensForWrite(info *types.Info, call *ast.CallExpr) bool {
+	if isOSCall(info, call, "Create") {
+		return true
+	}
+	if !isOSCall(info, call, "OpenFile") || len(call.Args) < 2 {
+		return false
+	}
+	writeIntent := false
+	unknown := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			switch id.Name {
+			case "O_WRONLY", "O_RDWR", "O_CREATE", "O_APPEND", "O_TRUNC":
+				writeIntent = true
+			case "O_RDONLY", "os", "syscall":
+				// read-only flags and package qualifiers
+			default:
+				unknown = true // computed flags: assume write intent
+			}
+		}
+		return true
+	})
+	return writeIntent || unknown
+}
+
+// gatherWriters records locals bound to files opened for writing.
+func (c *durChecker) gatherWriters(body *ast.BlockStmt) {
+	c.writers = map[types.Object]token.Pos{}
+	info := c.pass.Pkg.Info
+	bind := func(lhs ast.Expr, call *ast.CallExpr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			c.writers[obj] = call.Pos()
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) < 1 {
+			return true
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || !opensForWrite(info, call) {
+			return true
+		}
+		bind(st.Lhs[0], call)
+		return true
+	})
+}
+
+// trackedCall returns the method name if call is f.<Close|Sync>() on a
+// tracked written file.
+func (c *durChecker) trackedCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, tracked := c.writers[c.pass.Pkg.Info.Uses[id]]; !tracked {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func (c *durChecker) checkBody(body *ast.BlockStmt) {
+	info := c.pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := c.trackedCall(call); name != "" && !c.volatileLine(call.Pos()) {
+				c.pass.Reportf(call.Pos(),
+					"discarded error from %s on a written file; the flush error is the durability signal", name)
+			}
+			if isOSCall(info, call, "Rename") && !c.volatileLine(call.Pos()) {
+				c.pass.Reportf(call.Pos(),
+					"discarded error from os.Rename; the commit of an atomic write must be checked")
+			}
+		case *ast.CallExpr:
+			if c.trackedCall(st) == "Sync" {
+				c.synced = true
+			}
+			if isOSCall(info, st, "WriteFile") && !c.volatileLine(st.Pos()) {
+				c.pass.Reportf(st.Pos(),
+					"os.WriteFile does not fsync; use the atomic write helper or annotate //wikisearch:volatile")
+			}
+		}
+		return true
+	})
+	if c.synced {
+		return
+	}
+	for _, pos := range c.writers {
+		if !c.volatileLine(pos) {
+			c.pass.Reportf(pos,
+				"file opened for writing but never fsynced; data may be lost on crash (call Sync or annotate //wikisearch:volatile)")
+		}
+	}
+}

@@ -129,6 +129,10 @@ func TestAtomicFieldFixture(t *testing.T)  { checkFixture(t, "atomicfield") }
 func TestHotPathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc") }
 func TestNoCopyFixture(t *testing.T)       { checkFixture(t, "nocopy") }
 func TestCtxHandlerFixture(t *testing.T)   { checkFixture(t, "ctxhandler") }
+func TestMmapViewFixture(t *testing.T)     { checkFixture(t, "mmapview") }
+func TestSingleWriterFixture(t *testing.T) { checkFixture(t, "singlewriter") }
+func TestLifecycleFixture(t *testing.T)    { checkFixture(t, "lifecycle") }
+func TestDurabilityFixture(t *testing.T)   { checkFixture(t, "durability") }
 
 // TestAnalyzerNamesUnique guards the registry against copy-paste clashes.
 func TestAnalyzerNamesUnique(t *testing.T) {
@@ -142,8 +146,8 @@ func TestAnalyzerNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 4 {
-		t.Errorf("expected at least 4 analyzers, got %d", len(seen))
+	if len(seen) < 9 {
+		t.Errorf("expected at least 9 analyzers, got %d", len(seen))
 	}
 }
 

@@ -1,0 +1,43 @@
+// Package directives is a wikilint test fixture for the directives
+// validator. Findings land on the directive comments themselves, so the
+// expectations live in directivecheck_test.go rather than in want comments
+// (a line cannot carry both the offending comment and a want comment).
+package directives
+
+import "sync/atomic"
+
+// Counter pairs a valid field directive with an invalid one.
+type Counter struct {
+	//wikisearch:atomic
+	hits uint64
+	//wikisearch:hotpath
+	miss uint64 // BAD: hotpath is a func directive, found on a field
+}
+
+// Incr bumps the counter.
+//
+//wikisearch:hotpath
+func Incr(c *Counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Typo carries a misspelled directive name.
+//
+//wikisearch:hotpth
+func Typo() {}
+
+// Spaced carries a directive detached by whitespace.
+//
+// wikisearch:hotpath
+func Spaced() {}
+
+// Stray puts a line-only directive on a type.
+//
+//wikisearch:allocok
+type Stray struct{}
+
+// Field-level nocopy is stale: the directive applies to types.
+type Holder struct {
+	//wikisearch:nocopy
+	mu int
+}

@@ -1,0 +1,95 @@
+// Package durability is a wikilint test fixture: each want comment is an
+// expected durability finding on that line.
+package durability
+
+import "os"
+
+// WriteBad creates a file, never syncs it, and discards the Close error.
+func WriteBad(path string, data []byte) error {
+	f, err := os.Create(path) // want `file opened for writing but never fsynced`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close() // want `discarded error from Close on a written file`
+	return nil
+}
+
+// WriteGood follows the fsync-atomic-write contract: sync before close,
+// every error observed, the error-path close annotated.
+func WriteGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //wikisearch:volatile error path: the write already failed
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //wikisearch:volatile error path: the sync already failed
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(path, path+".done"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Move discards the commit error of the atomic-write rename.
+func Move(src, dst string) {
+	os.Rename(src, dst) // want `discarded error from os.Rename`
+}
+
+// WriteFileBad uses the helper that never fsyncs.
+func WriteFileBad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile does not fsync`
+}
+
+// Report is intentionally non-durable and says so.
+func Report(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //wikisearch:volatile fixture report, regenerated on every run
+}
+
+// Scratch opts a whole written file out of the contract.
+func Scratch(path string) error {
+	f, err := os.Create(path) //wikisearch:volatile scratch file, removed after use
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("tmp"))
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// ReadOnly opens without write intent: not tracked by the contract.
+func ReadOnly(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// Append opens with explicit write flags.
+func Append(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644) // want `file opened for writing but never fsynced`
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

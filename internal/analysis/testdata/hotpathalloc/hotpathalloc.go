@@ -53,7 +53,7 @@ func Bad(n int) []int {
 	m[n] = 1            // want `map write may allocate`
 	p := &Ring{}        // want `&composite literal allocates`
 	_ = p
-	go helper(n)                  // want `go statement allocates`
+	go helper(n)                  // want `go statement allocates` `goroutine is not tied to a shutdown mechanism`
 	fn := func() int { return n } // want `closure captures n and allocates`
 	_ = fn
 	return append(s, 4) // want `append may reallocate`

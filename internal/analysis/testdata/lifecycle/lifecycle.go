@@ -1,0 +1,73 @@
+// Package lifecycle is a wikilint test fixture: each want comment is an
+// expected lifecycle finding on that line.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {}
+
+// Leak launches a literal goroutine with no shutdown tie.
+func Leak() {
+	go func() { // want `goroutine is not tied to a shutdown mechanism`
+		spin()
+	}()
+}
+
+// LeakNamed launches a resolvable callee with no shutdown tie.
+func LeakNamed() {
+	go spin() // want `goroutine is not tied to a shutdown mechanism`
+}
+
+// Dynamic launches through a function value: unresolvable, must be marked.
+func Dynamic(f func()) {
+	go f() // want `goroutine body cannot be resolved statically`
+}
+
+// Joined signals a WaitGroup: the launcher can join it.
+func Joined(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+}
+
+// CtxTied observes cancellation.
+func CtxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// worker drains a channel until the sender closes it.
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// PoolJoin launches a resolvable callee whose body ranges over a channel.
+func PoolJoin(ch chan int) {
+	go worker(ch)
+}
+
+// Reports rendezvouses with the receiver through a send.
+func Reports(out chan<- error) {
+	go func() {
+		out <- nil
+	}()
+}
+
+// DaemonLine uses the line escape.
+func DaemonLine() {
+	go spin() //wikisearch:daemon fixture: intentionally unjoined
+}
+
+// DaemonFunc launches daemons by design; the function-level escape covers
+// every go statement inside.
+//
+//wikisearch:daemon
+func DaemonFunc() {
+	go spin()
+}

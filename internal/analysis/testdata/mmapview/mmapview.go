@@ -1,0 +1,108 @@
+// Package mmapview is a wikilint test fixture: each want comment is an
+// expected mmapview finding on that line.
+package mmapview
+
+import "unsafe"
+
+// Mapping owns the mapped bytes; its Close anchors the holder chain.
+//
+//wikisearch:viewholder
+type Mapping struct {
+	data  []byte
+	words []int64 // view field: allowed, the holder reaches Close
+	dict  *Dict
+}
+
+// Close releases the mapping.
+func (m *Mapping) Close() error {
+	m.data = nil
+	return nil
+}
+
+// Dict has no Close of its own but is held by Mapping, so the owner's
+// Close reaches it.
+//
+//wikisearch:viewholder
+type Dict struct {
+	names []string
+}
+
+// Orphan has no Close and no anchored owner.
+//
+//wikisearch:viewholder
+type Orphan struct { // want `viewholder Orphan is not reachable from any Close`
+	words []int64
+}
+
+// plain is an ordinary struct: views must not be stored into it.
+type plain struct {
+	words []int64
+}
+
+// Words mints a zero-copy view over the mapping: the blessed helper.
+//
+//wikisearch:mmapview
+func Words(m *Mapping, n int) []int64 {
+	return unsafe.Slice((*int64)(unsafe.Pointer(&m.data[0])), n)
+}
+
+// BadMint forges a view outside an annotated minter.
+func BadMint(m *Mapping, n int) {
+	_ = unsafe.Slice((*int64)(unsafe.Pointer(&m.data[0])), n) // want `unsafe view minted outside a //wikisearch:mmapview function`
+}
+
+// LocalUse keeps the view function-scoped: fine.
+func LocalUse(m *Mapping, n int) int64 {
+	v := Words(m, n)
+	sum := int64(0)
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// StoreHolder parks views inside viewholders: fine on both paths.
+func StoreHolder(m *Mapping, n int) {
+	m.words = Words(m, n)
+	m.dict = &Dict{}
+}
+
+// StorePlain leaks a view into a non-holder field.
+func StorePlain(m *Mapping, n int) *plain {
+	p := &plain{}
+	p.words = Words(m, n) // want `mmap view stored into field of plain`
+	return p
+}
+
+// LiteralPlain leaks a view through a composite literal.
+func LiteralPlain(m *Mapping, n int) *plain {
+	return &plain{
+		words: Words(m, n), // want `mmap view stored into composite literal of plain`
+	}
+}
+
+var global []int64
+
+// StoreGlobal leaks a view into a package-level variable.
+func StoreGlobal(m *Mapping, n int) {
+	global = Words(m, n) // want `mmap view stored into package-level variable global`
+}
+
+// Leak returns a view from an unannotated function.
+func Leak(m *Mapping, n int) []int64 {
+	v := Words(m, n)
+	return v // want `mmap view returned from a function not annotated //wikisearch:mmapview`
+}
+
+// Head re-slices and returns: annotated, so the caller inherits tracking.
+//
+//wikisearch:mmapview
+func Head(m *Mapping, n int) []int64 {
+	return Words(m, n)[:1]
+}
+
+// Clobber writes through the view into read-only pages.
+func Clobber(m *Mapping, n int) {
+	v := Words(m, n)
+	v[0] = 1 // want `write through mmap view v`
+}

@@ -1,0 +1,63 @@
+// Package singlewriter is a wikilint test fixture: each want comment is an
+// expected singlewriter finding on that line.
+package singlewriter
+
+// Ring is a single-writer event ring: Record owns the slots and cursor,
+// Drain is the blessed read-side accessor.
+type Ring struct {
+	//wikisearch:singlewriter
+	slots []int64
+	//wikisearch:singlewriter
+	pos int
+}
+
+// NewRing constructs the ring; composite literals are always fine (the
+// value is not shared yet).
+func NewRing(n int) *Ring {
+	return &Ring{slots: make([]int64, n)}
+}
+
+// Record is the owning writer: full access.
+//
+//wikisearch:writer
+func (r *Ring) Record(v int64) {
+	r.slots[r.pos%len(r.slots)] = v
+	r.pos++
+}
+
+// Drain reads through the blessed accessor.
+//
+//wikisearch:drain
+func (r *Ring) Drain(dst []int64) []int64 {
+	for i := 0; i < r.pos && i < len(r.slots); i++ {
+		dst = append(dst, r.slots[i])
+	}
+	return dst
+}
+
+// Peek reads outside the accessors.
+func (r *Ring) Peek() int64 {
+	return r.slots[0] // want `read of single-writer field Ring.slots outside a //wikisearch:drain accessor`
+}
+
+// Clobber writes outside the owner.
+func (r *Ring) Clobber() {
+	r.pos = 0 // want `write to single-writer field Ring.pos outside its //wikisearch:writer owner`
+}
+
+// Bump increments outside the owner.
+func (r *Ring) Bump() {
+	r.pos++ // want `write to single-writer field Ring.pos outside its //wikisearch:writer owner`
+}
+
+// DrainBad mutates inside a read-only accessor.
+//
+//wikisearch:drain
+func (r *Ring) DrainBad() {
+	r.pos = 0 // want `write to single-writer field Ring.pos inside a //wikisearch:drain accessor`
+}
+
+// Alias hands out write capability.
+func (r *Ring) Alias() *int {
+	return &r.pos // want `address of single-writer field Ring.pos taken outside its //wikisearch:writer owner`
+}

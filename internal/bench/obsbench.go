@@ -171,5 +171,5 @@ func WriteObsBench(path string, r *ObsBenchReport) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, append(data, '\n'), 0o644) //wikisearch:volatile benchmark report, regenerated on every run
 }

@@ -262,5 +262,5 @@ func WriteShardBench(path string, r *ShardBenchReport) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, append(data, '\n'), 0o644) //wikisearch:volatile benchmark report, regenerated on every run
 }

@@ -191,5 +191,5 @@ func WriteStartupBench(path string, r *StartupBenchReport) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, append(data, '\n'), 0o644) //wikisearch:volatile benchmark report, regenerated on every run
 }

@@ -304,7 +304,11 @@ func (s *state) topDown() ([]*Answer, error) {
 // then select the final top-k. Extraction and pruning of different Central
 // Graphs run in parallel with dynamic scheduling ("we let one thread
 // recover one or more Central Graphs", §V-C), each worker on its own
-// retained scratch.
+// retained scratch. topDownGroup owns the per-worker td scratch slots:
+// worker w dereferences only td[w], and the pool join publishes the
+// results before anyone else runs.
+//
+//wikisearch:writer
 func (s *state) topDownGroup(gr *group) ([]*Answer, error) {
 	env := s.envGroup(gr)
 	if w := s.pool.Workers(); cap(s.td) < w {

@@ -110,10 +110,16 @@ type Run struct {
 	level   int
 	fronts  []int
 	newC    [][]graph.NodeID
-	outBuf  [][]core.BoundaryMsg   // per source shard: drained activations
-	route   [][][]core.BoundaryMsg // [source][destination] exchange buckets
-	srcs    [][][]graph.NodeID     // per shard, per keyword: local source ids
-	cursor  []int                  // k-way central merge cursors
+	// outBuf and route are written only by the owning expand worker of
+	// their source-shard slot (the prebound closures built in newRun);
+	// between levels the coordinator reads them after the pool join.
+	//
+	//wikisearch:singlewriter
+	outBuf [][]core.BoundaryMsg // per source shard: drained activations
+	//wikisearch:singlewriter
+	route  [][][]core.BoundaryMsg // [source][destination] exchange buckets
+	srcs   [][][]graph.NodeID     // per shard, per keyword: local source ids
+	cursor []int                  // k-way central merge cursors
 
 	prof  core.Profile
 	depth int
@@ -136,6 +142,12 @@ func coordWorkers(n, threads int) int {
 	return n
 }
 
+// newRun builds one pooled Run: states, exchange buffers and the prebound
+// phase closures. The closures are the owning writers of the write-
+// partitioned outBuf/route exchange buffers: expandFn(s) alone writes the
+// [s] slots, and applyFn reads the [*][d] column after the expand join.
+//
+//wikisearch:writer
 func (c *Coordinator) newRun(threads int) *Run {
 	n := c.top.N
 	r := &Run{co: c, threads: threads}
@@ -299,6 +311,10 @@ func (r *Run) mergeCentrals(level int) int {
 // stopping conditions statement for statement, so the sharded run terminates
 // at exactly the solo depth d. On return r.depth, r.prof and r.msgs are set
 // and the merge state holds the absorbed global matrix and central set.
+// bottomUp reads the exchange buffers only between pool joins (the pending
+// count after expand), never concurrently with the writers.
+//
+//wikisearch:drain
 func (c *Coordinator) bottomUp(r *Run, in core.Input, p core.Params, tracing bool) error {
 	top := c.top
 	n := top.N

@@ -19,6 +19,8 @@ import (
 // everything the engine needs to start serving without recomputation.
 // Version 2 is the streamed record format; version 3 (v3.go) is the
 // mmap-able section format whose loaded arrays alias the file mapping.
+//
+//wikisearch:viewholder
 type Dump struct {
 	Name      string
 	Graph     *graph.Graph

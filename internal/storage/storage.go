@@ -110,7 +110,7 @@ func atomicWriteFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	fail := func(err error) error {
-		f.Close()
+		f.Close() //wikisearch:volatile error path: the write already failed and the temp file is removed
 		os.Remove(tmp)
 		return err
 	}

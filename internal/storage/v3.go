@@ -99,6 +99,8 @@ func hostLittleEndian() bool {
 // leBytes returns the little-endian byte image of a fixed-width word
 // slice. On little-endian hosts this is a zero-copy unsafe view of the
 // slice's backing array; on big-endian hosts it converts element-wise.
+//
+//wikisearch:mmapview
 func leBytes[T int64 | int32 | uint64 | float64](s []T) []byte {
 	if len(s) == 0 {
 		return nil
@@ -131,6 +133,8 @@ func leBytes[T int64 | int32 | uint64 | float64](s []T) []byte {
 // view reinterprets count elements of T at the start of b. The caller has
 // verified length, 8-byte alignment of the base and little-endianness of
 // the host, so this is the zero-copy read path.
+//
+//wikisearch:mmapview
 func view[T int64 | int32 | float64](b []byte, count int) []T {
 	if count == 0 {
 		return []T{}
@@ -145,6 +149,7 @@ func view[T int64 | int32 | float64](b []byte, count int) []T {
 // Engine.Close above it) is the single release point.
 //
 //wikisearch:nocopy
+//wikisearch:viewholder
 type mapping struct {
 	data   []byte
 	unmap  func([]byte) error // nil for heap buffers
@@ -449,6 +454,8 @@ func (h *v3Header) section(data []byte, kind uint32, elemSize int, wantCount int
 // pair, validating that offsets start at 0, never decrease, and end
 // exactly at the blob length. The strings are zero-copy views into the
 // mapping (unsafe.String), valid until the mapping closes.
+//
+//wikisearch:mmapview
 func stringViews(offs []int64, blob []byte) ([]string, error) {
 	n := len(offs) - 1
 	if offs[0] != 0 || offs[n] != int64(len(blob)) {

@@ -116,13 +116,16 @@ const ringEvents = 1024
 // position increment — no atomics, no locks. The fork/join barriers of the
 // owning search provide the happens-before edges the cold-path drain needs.
 type ring struct {
-	ev  []Event // len ringEvents
-	pos uint64  // events recorded since Reset; wraps the ring when > len
+	//wikisearch:singlewriter
+	ev []Event // len ringEvents
+	//wikisearch:singlewriter
+	pos uint64 // events recorded since Reset; wraps the ring when > len
 }
 
 // record appends one event, overwriting the oldest when full.
 //
 //wikisearch:hotpath
+//wikisearch:writer
 func (r *ring) record(e Event) {
 	r.ev[r.pos&uint64(len(r.ev)-1)] = e
 	r.pos++
@@ -163,8 +166,11 @@ func (b *Buffer) SetEnabled(on bool) { b.enabled = on }
 func (b *Buffer) On() bool { return b != nil && b.enabled }
 
 // Reset forgets all recorded events; called at the start of each search.
+// The search has not started, so the owner-only write discipline is
+// trivially satisfied.
 //
 //wikisearch:hotpath
+//wikisearch:writer
 func (b *Buffer) Reset() {
 	if b == nil {
 		return
@@ -191,7 +197,11 @@ func (b *Buffer) Record(w int, k Kind, start, end int64, level int, groups uint3
 
 // Drain appends every event recorded since Reset to dst (in per-ring record
 // order) and returns the extended slice plus the number of events lost to
-// ring overflow. Cold path: the caller sorts and owns the result.
+// ring overflow. Cold path: the caller sorts and owns the result, and the
+// fork/join barrier of the finished search orders the reads after the
+// workers' writes.
+//
+//wikisearch:drain
 func (b *Buffer) Drain(dst []Event) ([]Event, int) {
 	if b == nil {
 		return dst, 0
