@@ -84,11 +84,13 @@ func (e *Engine) DisableBatching() {
 // batchKey is the compatibility class of a query: two queries may share a
 // bottom-up expansion only if every knob that shapes the shared traversal
 // is equal. Per-query knobs (k, max level, level-cover) stay exact per
-// column group and are not part of the key.
+// column group and are not part of the key. The epoch id keeps queries
+// pinned to different snapshots apart: a batch reads one graph.
 type batchKey struct {
 	alpha, lambda     float64
 	threads           int
 	disableActivation bool
+	epoch             uint64
 }
 
 // batcher multiplexes admitted queries into per-key open batches and runs
@@ -161,10 +163,15 @@ func sameQuery(a, b *batchEntry) bool {
 	return true
 }
 
-// batchEntry is one admitted query waiting for its batch to run.
+// batchEntry is one admitted query waiting for its batch to run. Each entry
+// holds its own epoch pin (taken at admission, while the caller's pin still
+// protects the epoch) because the caller may stop waiting on ctx.Done and
+// drop its pin while the batch still reads the snapshot; run releases the
+// entry's pin when it delivers.
 type batchEntry struct {
 	q     Query
 	ctx   context.Context
+	ep    *epoch
 	in    core.Input
 	terms []string
 	start searchStart // admission time; becomes the trace's batch-wait origin
@@ -186,11 +193,11 @@ func (b *batcher) eligible(q Query, nterms int) bool {
 // do admits a prepared query and waits for its batch to deliver. A caller
 // whose context fires stops waiting immediately; the batch still completes
 // for its other members.
-func (b *batcher) do(ctx context.Context, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
+func (b *batcher) do(ctx context.Context, ep *epoch, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e := &batchEntry{q: q, ctx: ctx, in: in, terms: terms, start: start, done: make(chan struct{})}
+	e := &batchEntry{q: q, ctx: ctx, ep: ep, in: in, terms: terms, start: start, done: make(chan struct{})}
 	b.admit(e)
 	select {
 	case <-e.done:
@@ -207,8 +214,11 @@ func (b *batcher) do(ctx context.Context, q Query, in core.Input, terms []string
 // query joins the oldest batch with column room, or opens a fresh one; the
 // full batches stay open for their duplicates until their windows fire.
 func (b *batcher) admit(e *batchEntry) {
-	p := b.eng.params(e.q)
-	key := batchKey{alpha: p.Alpha, lambda: p.Lambda, threads: p.Threads, disableActivation: e.q.DisableActivation}
+	// The entry takes its own pin while the caller's pin still holds the
+	// epoch open; see batchEntry.
+	e.ep.pin()
+	p := e.ep.snap.params(e.q)
+	key := batchKey{alpha: p.Alpha, lambda: p.Lambda, threads: p.Threads, disableActivation: e.q.DisableActivation, epoch: e.ep.id}
 	cols := len(e.terms)
 
 	b.mu.Lock()
@@ -355,6 +365,7 @@ func (b *batcher) run(ob *openBatch) {
 		if err := e.ctx.Err(); err != nil {
 			e.err = err
 			close(e.done)
+			e.ep.unpin()
 			continue
 		}
 		live = append(live, e)
@@ -369,8 +380,9 @@ func (b *batcher) run(ob *openBatch) {
 		start := e.start
 		start.waitNs = int64(wait)
 		start.solo = true
-		e.res, e.err = b.eng.runPrepared(e.ctx, e.q, e.in, e.terms, start)
+		e.res, e.err = b.eng.runPrepared(e.ctx, e.ep, e.q, e.in, e.terms, start)
 		close(e.done)
+		e.ep.unpin()
 		b.observe(BatchExecution{Queries: 1, Columns: len(e.terms), Distinct: 1, Wait: wait, Solo: true})
 		return
 	}
@@ -399,13 +411,16 @@ func (b *batcher) run(ob *openBatch) {
 		defer cancel()
 	}
 
+	// Every member pinned the same epoch (the id is in the batch key), so
+	// the batch reads one consistent snapshot.
+	sn := live[0].ep.snap
 	var levels []uint8
 	if ob.key.disableActivation {
-		levels = b.eng.zeroLevels()
+		levels = sn.zeroLevels()
 	} else {
-		levels = b.eng.activationLevels(p.Alpha, p.Threads)
+		levels = sn.activationLevels(p.Alpha, p.Threads, &b.eng.levelComputes)
 	}
-	bin := core.BatchInput{G: b.eng.g, Weights: b.eng.weights, Levels: levels}
+	bin := core.BatchInput{G: sn.g, Weights: sn.weights, Levels: levels}
 	cols := 0
 	for _, e := range reps {
 		bin.Queries = append(bin.Queries, core.BatchQuery{
@@ -442,7 +457,7 @@ func (b *batcher) run(ob *openBatch) {
 				e.err = err
 			}
 		} else {
-			e.res = b.eng.resolve(e.terms, results[gi[i]], 0)
+			e.res = sn.resolve(e.terms, results[gi[i]], 0)
 		}
 		// Every member's trace carries the whole shared run: the kernel's
 		// events verbatim (group bitmasks attribute per-group work), plus two
@@ -458,6 +473,7 @@ func (b *batcher) run(ob *openBatch) {
 		ev = append(ev, shared...)
 		b.eng.collectTrace(e.ctx, e.q, e.terms, e.res, e.err, traceMeta{
 			start:        searchStart{ns: e.start.ns, t: e.start.t, waitNs: runNs0 - e.start.ns},
+			epoch:        e.ep.id,
 			batched:      true,
 			batchQueries: len(live),
 			batchColumns: cols,
@@ -468,6 +484,7 @@ func (b *batcher) run(ob *openBatch) {
 			dropped:      dropped,
 		})
 		close(e.done)
+		e.ep.unpin()
 	}
 	b.observe(BatchExecution{Queries: len(live), Columns: cols, Distinct: len(reps), Wait: wait})
 }

@@ -297,42 +297,3 @@ func TestQueryValidate(t *testing.T) {
 		}
 	}
 }
-
-// TestDeprecatedWrappers: the pre-v1 entry points still work and agree
-// with the unified API.
-func TestDeprecatedWrappers(t *testing.T) {
-	eng := newTestEngine(t)
-	a, err := eng.SearchBackground(Query{Text: "xml rdf sql", TopK: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := eng.SearchContext(context.Background(), Query{Text: "xml rdf sql", TopK: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sameResult(t, "background vs context", a, b)
-
-	gres, err := eng.SearchExactGST("xml rdf sql", 2, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	uniRes, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Variant: ExactGST})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if uniRes.GST == nil || len(uniRes.GST.Trees) != len(gres.Trees) {
-		t.Fatalf("unified GST result disagrees: %+v vs %+v", uniRes.GST, gres)
-	}
-
-	bres, err := eng.SearchBANKS("xml rdf sql", 2, true, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	uniB, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 2, Variant: BANKS, Bidirectional: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if uniB.Banks == nil || len(uniB.Banks.Trees) != len(bres.Trees) {
-		t.Fatalf("unified BANKS result disagrees: %+v vs %+v", uniB.Banks, bres)
-	}
-}

@@ -117,7 +117,10 @@ func BenchmarkExp1VaryKnumBANKS2(b *testing.B) {
 	qs := queries(b, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Eng.SearchBANKS(qs[i%len(qs)], 20, true, e.Cfg.BanksMaxVisits)
+		res, err := e.Eng.Search(context.Background(), wikisearch.Query{
+			Text: qs[i%len(qs)], TopK: 20, Variant: wikisearch.BANKS,
+			Bidirectional: true, MaxVisits: e.Cfg.BanksMaxVisits,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,10 +208,14 @@ func BenchmarkFig12EffectivenessBANKS(b *testing.B) {
 	q := strings.Join(p.Keywords, " ")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Eng.SearchBANKS(q, 20, true, e.Cfg.BanksMaxVisits)
+		full, err := e.Eng.Search(context.Background(), wikisearch.Query{
+			Text: q, TopK: 20, Variant: wikisearch.BANKS,
+			Bidirectional: true, MaxVisits: e.Cfg.BanksMaxVisits,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		res := full.Banks
 		sets := make([][]graph.NodeID, 0, len(res.Trees))
 		for j := range res.Trees {
 			sets = append(sets, res.Trees[j].Nodes)

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch,obs,startup,shard or 'all' (blinks, scaling, core, batch, obs, startup and shard are opt-in)")
+		exp           = flag.String("exp", "all", "comma-separated experiments: table2,fig3,exp1,exp2,exp3,exp4,table4,table5,fig11,fig12,ablation,blinks,scaling,core,batch,obs,startup,shard,mutate or 'all' (blinks, scaling, core, batch, obs, startup, shard and mutate are opt-in)")
 		dataset       = flag.String("dataset", "wiki2017-sim", "dataset for single-dataset experiments (exp1..exp4)")
 		queries       = flag.Int("queries", 10, "queries averaged per setting (paper: 50)")
 		threads       = flag.Int("threads", 8, "Tnum for efficiency experiments (paper default: 30)")
@@ -33,12 +33,13 @@ func main() {
 		coreOut       = flag.String("core-out", "BENCH_core.json", "output path for the core kernel benchmark (-exp core)")
 		batchOut      = flag.String("batch-out", "BENCH_batch.json", "output path for the query-batching benchmark (-exp batch)")
 		obsOut        = flag.String("obs-out", "BENCH_obs.json", "output path for the tracing-overhead benchmark (-exp obs)")
-		clients       = flag.Int("clients", 32, "concurrent clients for -exp batch and -exp obs")
+		clients       = flag.Int("clients", 32, "concurrent clients for -exp batch, -exp obs and -exp mutate")
 		startupOut    = flag.String("startup-out", "BENCH_startup.json", "output path for the cold-start benchmark (-exp startup)")
 		startupPreset = flag.String("startup-preset", "wiki2018-sim", "dataset preset for -exp startup")
 		shardOut      = flag.String("shard-out", "BENCH_shard.json", "output path for the sharded-search benchmark (-exp shard)")
 		shardPreset   = flag.String("shard-preset", "", "dataset preset for -exp shard (default wiki2017-sim)")
 		shardCounts   = flag.String("shard-counts", "", "comma-separated shard counts for -exp shard (default 2,4,8)")
+		mutateOut     = flag.String("mutate-out", "BENCH_mutate.json", "output path for the live-mutation benchmark (-exp mutate)")
 	)
 	flag.Parse()
 
@@ -282,6 +283,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *shardOut)
+	}
+	if want["mutate"] { // opt-in live-mutation benchmark (not part of 'all')
+		fmt.Fprintln(os.Stderr, "running live-mutation benchmark...")
+		rep, err := bench.MutateBench(bench.MutateBenchConfig{Clients: *clients, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		show(bench.MutateBenchTable(rep))
+		if err := bench.WriteMutateBench(*mutateOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *mutateOut)
 	}
 	if want["scaling"] { // opt-in: generates several graphs (not part of 'all')
 		t, _, err := bench.Scaling(cfg, nil)

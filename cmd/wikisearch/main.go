@@ -49,11 +49,15 @@ func main() {
 	run := func(q string) {
 		switch *variant {
 		case "banks1", "banks2":
-			res, err := eng.SearchBANKS(q, *topk, *variant == "banks2", 500000)
+			full, err := eng.Search(context.Background(), wikisearch.Query{
+				Text: q, TopK: *topk, Variant: wikisearch.BANKS,
+				Bidirectional: *variant == "banks2", MaxVisits: 500000,
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return
 			}
+			res := full.Banks
 			fmt.Printf("%d trees in %v (%d nodes visited)\n", len(res.Trees), res.Elapsed.Round(time.Microsecond), res.Visited)
 			for i, t := range res.Trees {
 				fmt.Printf("%2d. [%.3f] root: %s (%d nodes)\n", i+1, t.Score, t.RootLabel, len(t.Nodes))

@@ -40,6 +40,10 @@ func main() {
 			"searches slower than this get a structured slow-query log line and land in the /v1/debug/traces slow ring (<=0 disables)")
 		shards = flag.Int("shards", 0,
 			"partition the graph into N edge-cut shards and serve CPU-Par/Sequential searches on the in-process sharded runtime (<=1 disables)")
+		mutate = flag.Bool("mutate", false,
+			"accept live graph mutations via POST /v1/mutate (single-writer, epoch-snapshotted; mutually exclusive with -shards)")
+		compactAfter = flag.Int("compact-after", 4096,
+			"delta size in mutation ops at which the background compactor folds the delta into a fresh base snapshot (<=0 disables auto-compaction; requires -mutate)")
 		debugAddr = flag.String("debug-addr", "",
 			"private listen address for net/http/pprof profiling endpoints (empty disables)")
 		grace = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
@@ -113,9 +117,21 @@ func main() {
 	log.Printf("wikiserve: %s (%d nodes, %d edges) on %s (timeout=%v max-inflight=%d cache=%d batch-window=%v)",
 		eng.Name(), eng.Graph().NumNodes(), eng.Graph().NumEdges(), *addr,
 		*timeout, *maxInFlight, *cacheSize, *batchWindow)
+	h := server.NewWithConfig(eng, cfg)
+	if *mutate {
+		after := *compactAfter
+		if after <= 0 {
+			after = -1
+		}
+		if err := h.EnableMutation(wikisearch.MutatorOptions{CompactAfterOps: after}); err != nil {
+			log.Fatal(err)
+		}
+		defer h.Close()
+		log.Printf("wikiserve: live mutations enabled on POST /v1/mutate (compact-after=%d)", *compactAfter)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithConfig(eng, cfg),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

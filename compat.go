@@ -1,0 +1,61 @@
+package wikisearch
+
+import "context"
+
+// This file collects the deprecated pre-v1 entry points. The public search
+// surface is Engine.Search(ctx, Query) — one entry point, every variant —
+// plus the Mutator for live updates; everything below is a thin shim kept
+// only so existing callers keep compiling, and will be removed in v2. No
+// code in this repository calls these (see compat_test.go for the pinned
+// delegation behavior).
+
+// SearchContext answers a keyword query under ctx.
+//
+// Deprecated: SearchContext is the pre-v1 name of Search; call Search.
+// Removal: v2.
+func (e *Engine) SearchContext(ctx context.Context, q Query) (*Result, error) {
+	return e.Search(ctx, q)
+}
+
+// SearchBackground answers a keyword query detached from any caller
+// context. Request handlers must use Search with r.Context() so deadlines
+// and disconnects propagate.
+//
+// Deprecated: call Search with a context. Removal: v2.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchBackground(q Query) (*Result, error) {
+	return e.Search(context.Background(), q)
+}
+
+// SearchExactGST solves the query's Group Steiner Tree problem exactly.
+//
+// Deprecated: call Search with Variant ExactGST (TopK, MaxStates in the
+// Query) and read Result.GST. Removal: v2.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchExactGST(raw string, topK, maxStates int) (*GSTResult, error) {
+	res, err := e.Search(context.Background(), Query{
+		Text: raw, TopK: topK, MaxStates: maxStates, Variant: ExactGST,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.GST, nil
+}
+
+// SearchBANKS runs a baseline GST-approximation search.
+//
+// Deprecated: call Search with Variant BANKS (TopK, Bidirectional,
+// MaxVisits in the Query) and read Result.Banks. Removal: v2.
+//
+//wikisearch:bgcontext
+func (e *Engine) SearchBANKS(raw string, topK int, bidirectional bool, maxVisits int) (*BanksResult, error) {
+	res, err := e.Search(context.Background(), Query{
+		Text: raw, TopK: topK, Bidirectional: bidirectional, MaxVisits: maxVisits, Variant: BANKS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Banks, nil
+}

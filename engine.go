@@ -62,18 +62,34 @@ func (o EngineOptions) defaults() EngineOptions {
 // Engine is a prepared search engine over one knowledge graph: inverted
 // keyword index, degree-of-summary weights, and the sampled average
 // distance that anchors the activation-level mapping. An Engine is safe
-// for concurrent Search calls.
+// for concurrent Search calls, and — through NewMutator — for live graph
+// mutations concurrent with searches: every search pins one immutable
+// epoch snapshot for its lifetime (see epoch.go).
 type Engine struct {
-	name    string
-	g       *Graph
-	ix      *text.Index
-	weights []float64
-	avgDist float64
-	stddev  float64
+	name string
 
-	mu         sync.Mutex
-	levelCache map[float64]*levelEntry // α → per-node activation levels
-	zeroLv     []uint8                 // all-zero levels for the activation ablation
+	// epoch points at the current published snapshot (graph, weights,
+	// index + delta overlay, level caches). Searches pin it lock-free;
+	// Mutator.Publish and the compactor install successors.
+	epoch         atomic.Pointer[epoch]
+	epochSeq      atomic.Uint64 // last published epoch id
+	epochsRetired atomic.Int64  // replaced epochs fully drained
+	// oldEpochs (guarded by mu) tracks replaced epochs that may still be
+	// pinned by in-flight searches.
+	oldEpochs []*epoch
+	// pubMu serializes epoch publication (mutator publishes, compaction).
+	pubMu sync.Mutex
+
+	// mut (guarded by mu) is the active Mutator; at most one may exist,
+	// and mutation is mutually exclusive with sharding.
+	mut *Mutator
+	// publishObs, when set, is invoked after every epoch publication; the
+	// serving layer uses it to purge its result cache and update gauges.
+	publishObs atomic.Pointer[PublishObserver]
+
+	// mu guards the cross-cutting cold-path engine state: oldEpochs, mut,
+	// shardDumps and shardCache.
+	mu sync.Mutex
 
 	// levelComputes counts level-vector computations (observability and
 	// the singleflight regression test).
@@ -203,50 +219,45 @@ func LoadEngine(path string, o EngineOptions) (*Engine, error) {
 	}
 	o = o.defaults()
 	e := &Engine{
-		name:       d.Name,
-		g:          d.Graph,
-		ix:         d.Index,
-		weights:    d.Weights,
-		avgDist:    d.AvgDist,
-		stddev:     d.Deviation,
-		levelCache: map[float64]*levelEntry{},
-		tracer:     trace.NewCollector(),
-		dump:       d,
+		name:   d.Name,
+		tracer: trace.NewCollector(),
+		dump:   d,
 	}
-	if e.ix == nil {
-		e.ix = text.BuildIndex(e.g)
+	ix := d.Index
+	if ix == nil {
+		ix = text.BuildIndex(d.Graph)
 	}
+	avgDist, stddev := d.AvgDist, d.Deviation
 	if o.AvgDistance > 0 {
-		e.avgDist, e.stddev = o.AvgDistance, 0
+		avgDist, stddev = o.AvgDistance, 0
 	}
-	if e.avgDist <= 0 {
-		s := graph.SampleAverageDistance(e.g, o.DistanceSamplePairs, rand.New(rand.NewSource(o.Seed)))
-		e.avgDist, e.stddev = s.Mean, s.Deviation
-		if e.avgDist <= 0 {
-			e.avgDist = 1
+	if avgDist <= 0 {
+		s := graph.SampleAverageDistance(d.Graph, o.DistanceSamplePairs, rand.New(rand.NewSource(o.Seed)))
+		avgDist, stddev = s.Mean, s.Deviation
+		if avgDist <= 0 {
+			avgDist = 1
 		}
 	}
+	e.installEpoch(newSnapshot(d.Graph, ix, nil, d.Weights, avgDist, stddev))
 	return e, nil
 }
 
 func newEngineFrom(name string, g *Graph, w []float64, o EngineOptions) (*Engine, error) {
 	e := &Engine{
-		name:       name,
-		g:          g,
-		ix:         text.BuildIndex(g),
-		weights:    w,
-		levelCache: map[float64]*levelEntry{},
-		tracer:     trace.NewCollector(),
+		name:   name,
+		tracer: trace.NewCollector(),
 	}
+	var avgDist, stddev float64
 	if o.AvgDistance > 0 {
-		e.avgDist = o.AvgDistance
+		avgDist = o.AvgDistance
 	} else {
 		s := graph.SampleAverageDistance(g, o.DistanceSamplePairs, rand.New(rand.NewSource(o.Seed)))
-		e.avgDist, e.stddev = s.Mean, s.Deviation
-		if e.avgDist <= 0 {
-			e.avgDist = 1 // degenerate graphs: keep the mapping sane
+		avgDist, stddev = s.Mean, s.Deviation
+		if avgDist <= 0 {
+			avgDist = 1 // degenerate graphs: keep the mapping sane
 		}
 	}
+	e.installEpoch(newSnapshot(g, text.BuildIndex(g), nil, w, avgDist, stddev))
 	return e, nil
 }
 
@@ -258,15 +269,23 @@ func (e *Engine) Save(path string) error {
 }
 
 // SaveFormat writes the engine's dump to path in the requested format:
-// graph, weights, distance statistics and the inverted index.
+// graph, weights, distance statistics and the inverted index. An unmerged
+// mutation delta is folded in first: the dump always carries a flat CSR
+// graph and an exact index, so a reloaded engine starts compacted.
 func (e *Engine) SaveFormat(path string, format DumpFormat) error {
+	sn := e.snap()
+	g, ix := sn.g, sn.ix
+	if g.HasOverlay() {
+		g = g.Materialize()
+		ix = text.BuildIndex(g)
+	}
 	d := &storage.Dump{
 		Name:      e.name,
-		Graph:     e.g,
-		Weights:   e.weights,
-		AvgDist:   e.avgDist,
-		Deviation: e.stddev,
-		Index:     e.ix,
+		Graph:     g,
+		Weights:   sn.weights,
+		AvgDist:   sn.avgDist,
+		Deviation: sn.stddev,
+		Index:     ix,
 	}
 	switch format {
 	case FormatV2:
@@ -293,8 +312,15 @@ func (e *Engine) LoadInfo() LoadInfo {
 // and index views are invalid. Close on an in-memory or v2-loaded engine
 // is a no-op; it is idempotent.
 func (e *Engine) Close() error {
-	// Release the sharded runtime's worker pools and segment mappings,
-	// then every cached coordinator.
+	// Stop the mutator's compactor first (no-op when none is active), then
+	// release the sharded runtime's worker pools and segment mappings, and
+	// every cached coordinator.
+	e.mu.Lock()
+	m := e.mut
+	e.mu.Unlock()
+	if m != nil {
+		m.Close()
+	}
 	e.setSharding(nil, nil)
 	e.closeShardCache()
 	if e.dump == nil {
@@ -314,55 +340,38 @@ func (e *Engine) SetName(name string) { e.name = name }
 // Name returns the dataset name ("wiki2018-sim", …).
 func (e *Engine) Name() string { return e.name }
 
-// Graph returns the underlying graph.
-func (e *Engine) Graph() *Graph { return e.g }
+// Graph returns the current epoch's graph. During live mutation the view
+// changes on publish; hold the result rather than re-reading it when a
+// consistent view matters (or pin via Search, which does this per query).
+func (e *Engine) Graph() *Graph { return e.snap().g }
 
 // AvgDistance returns the sampled (or configured) average shortest
 // distance A.
-func (e *Engine) AvgDistance() float64 { return e.avgDist }
+func (e *Engine) AvgDistance() float64 { return e.snap().avgDist }
 
 // DistanceDeviation returns the sampling standard deviation (0 when A was
 // configured explicitly).
-func (e *Engine) DistanceDeviation() float64 { return e.stddev }
+func (e *Engine) DistanceDeviation() float64 { return e.snap().stddev }
 
 // VocabSize returns the keyword vocabulary size after stopword filtering
-// and stemming.
-func (e *Engine) VocabSize() int { return e.ix.NumTerms() }
+// and stemming, adjusted for the live-mutation delta.
+func (e *Engine) VocabSize() int { return e.snap().vocabSize() }
 
 // KeywordFrequency returns the number of nodes containing the raw keyword
-// (Table V's kwf).
-func (e *Engine) KeywordFrequency(raw string) int { return e.ix.Frequency(raw) }
+// (Table V's kwf), delta-aware.
+func (e *Engine) KeywordFrequency(raw string) int { return len(e.snap().lookup(raw)) }
 
 // Weight returns node v's normalized degree-of-summary weight.
-func (e *Engine) Weight(v NodeID) float64 { return e.weights[v] }
+func (e *Engine) Weight(v NodeID) float64 { return e.snap().weights[v] }
 
-// Weights returns the full weight vector; the slice aliases engine state
-// and must not be modified.
-func (e *Engine) Weights() []float64 { return e.weights }
+// Weights returns the current epoch's weight vector; the slice aliases
+// snapshot state and must not be modified.
+func (e *Engine) Weights() []float64 { return e.snap().weights }
 
-// activationLevels returns (computing and caching on first use) the
-// per-node minimum activation levels for α. Concurrent first requests for
-// the same α coordinate on one levelEntry, so the vector is computed
-// exactly once; eviction replaces the map but never an entry a caller
-// already holds.
+// activationLevels returns the current snapshot's per-node minimum
+// activation levels for α; see snapshot.activationLevels.
 func (e *Engine) activationLevels(alpha float64, threads int) []uint8 {
-	e.mu.Lock()
-	ent, ok := e.levelCache[alpha]
-	if !ok {
-		if len(e.levelCache) >= 16 { // bound the cache; α values are few in practice
-			e.levelCache = map[float64]*levelEntry{}
-		}
-		ent = &levelEntry{}
-		e.levelCache[alpha] = ent
-	}
-	e.mu.Unlock()
-	ent.once.Do(func() {
-		pool := parallel.NewPool(threads)
-		defer pool.Close()
-		ent.lv = weight.Levels(e.weights, e.avgDist, alpha, pool)
-		e.levelComputes.Add(1)
-	})
-	return ent.lv
+	return e.snap().activationLevels(alpha, threads, &e.levelComputes)
 }
 
 // acquireState takes a reusable search state from the engine's pool, or
@@ -390,17 +399,6 @@ func (e *Engine) SearchStateStats() (created, reused int64) {
 // LevelComputations returns how many activation-level vectors have been
 // computed (cache misses); the per-α cache makes repeats free.
 func (e *Engine) LevelComputations() int64 { return e.levelComputes.Load() }
-
-// zeroLevels returns (caching) an all-zero activation vector for the
-// DisableActivation ablation.
-func (e *Engine) zeroLevels() []uint8 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.zeroLv == nil {
-		e.zeroLv = make([]uint8, e.g.NumNodes())
-	}
-	return e.zeroLv
-}
 
 // ActivationDistribution buckets all nodes by minimum activation level for
 // α — the data behind Fig. 3. The final bucket aggregates levels ≥

@@ -231,11 +231,11 @@ func TestWarmEngineKernelAllocationFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	in, _, err := eng.prepare(q.Text)
+	in, _, err := eng.snap().prepare(q.Text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := core.Params{TopK: q.TopK, AvgDist: eng.avgDist, Threads: q.Threads}.Defaults()
+	p := core.Params{TopK: q.TopK, AvgDist: eng.AvgDistance(), Threads: q.Threads}.Defaults()
 	in.Levels = eng.activationLevels(p.Alpha, p.Threads)
 	st := eng.acquireState()
 	defer eng.releaseState(st)
@@ -305,10 +305,11 @@ func TestEngineSaveLoad(t *testing.T) {
 func TestSearchBANKS(t *testing.T) {
 	eng := newTestEngine(t)
 	for _, bidi := range []bool{false, true} {
-		res, err := eng.SearchBANKS("xml rdf sql", 5, bidi, 0)
+		full, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 5, Variant: BANKS, Bidirectional: bidi})
 		if err != nil {
 			t.Fatal(err)
 		}
+		res := full.Banks
 		if len(res.Trees) == 0 {
 			t.Fatalf("bidi=%v: no trees", bidi)
 		}
@@ -319,17 +320,18 @@ func TestSearchBANKS(t *testing.T) {
 			t.Fatalf("bidi=%v: %d paths, want 3", bidi, len(res.Trees[0].Paths))
 		}
 	}
-	if _, err := eng.SearchBANKS("", 5, true, 0); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "", TopK: 5, Variant: BANKS, Bidirectional: true}); err == nil {
 		t.Fatal("BANKS accepted empty query")
 	}
 }
 
 func TestSearchExactGST(t *testing.T) {
 	eng := newTestEngine(t)
-	res, err := eng.SearchExactGST("xml rdf sql", 3, 0)
+	full, err := eng.Search(context.Background(), Query{Text: "xml rdf sql", TopK: 3, Variant: ExactGST})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := full.GST
 	if len(res.Trees) == 0 || res.Popped == 0 {
 		t.Fatalf("result = %+v", res)
 	}
@@ -346,11 +348,11 @@ func TestSearchExactGST(t *testing.T) {
 			t.Fatal("trees not cost-ordered")
 		}
 	}
-	if _, err := eng.SearchExactGST("", 3, 0); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "", TopK: 3, Variant: ExactGST}); err == nil {
 		t.Fatal("empty query accepted")
 	}
 	// 13 distinct terms exceed gst.MaxKeywords (12).
-	if _, err := eng.SearchExactGST("xml rdf sql xpath xquery sparql facebook language version query relational path databases", 1, 0); err == nil {
+	if _, err := eng.Search(context.Background(), Query{Text: "xml rdf sql xpath xquery sparql facebook language version query relational path databases", TopK: 1, Variant: ExactGST}); err == nil {
 		t.Fatal("over-long GST query accepted")
 	}
 }
@@ -424,12 +426,12 @@ func TestSearchContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, v := range []Variant{CPUPar, CPUParD, GPUPar} {
-		if _, err := eng.SearchContext(ctx, Query{Text: "xml rdf sql", Variant: v}); !errors.Is(err, context.Canceled) {
+		if _, err := eng.Search(ctx, Query{Text: "xml rdf sql", Variant: v}); !errors.Is(err, context.Canceled) {
 			t.Fatalf("%v: err = %v, want context.Canceled", v, err)
 		}
 	}
 	// A live context behaves like Search.
-	res, err := eng.SearchContext(context.Background(), Query{Text: "xml rdf sql"})
+	res, err := eng.Search(context.Background(), Query{Text: "xml rdf sql"})
 	if err != nil || len(res.Answers) == 0 {
 		t.Fatalf("live ctx: %v / %d answers", err, len(res.Answers))
 	}

@@ -72,10 +72,13 @@ func main() {
 
 		// BANKS-II baseline, visit-capped.
 		t0 := time.Now()
-		bres, err := eng.SearchBANKS(q, 5, true, 100000)
+		bresFull, err := eng.Search(context.Background(), wikisearch.Query{
+			Text: q, TopK: 5, Variant: wikisearch.BANKS, Bidirectional: true, MaxVisits: 100000,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		bres := bresFull.Banks
 		fmt.Printf("  BANKS-II: %8v  %d trees (%d nodes visited)\n",
 			time.Since(t0).Round(time.Microsecond), len(bres.Trees), bres.Visited)
 		if len(bres.Trees) > 0 {

@@ -64,10 +64,13 @@ func main() {
 	}
 
 	fmt.Println("\n--- BANKS-II trees ---")
-	bres, err := eng.SearchBANKS(query, 5, true, 50000)
+	bresFull, err := eng.Search(context.Background(), wikisearch.Query{
+		Text: query, TopK: 5, Variant: wikisearch.BANKS, Bidirectional: true, MaxVisits: 50000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	bres := bresFull.Banks
 	prev := map[wikisearch.NodeID]bool{}
 	for i, t := range bres.Trees {
 		rel := ""

@@ -28,6 +28,7 @@ func TestDirectivesFixture(t *testing.T) {
 		"// wikisearch:hotpath": `malformed directive "// wikisearch:hotpath"`,
 		"//wikisearch:allocok":  `misplaced directive //wikisearch:allocok: applies to line declarations, found on a type`,
 		"//wikisearch:nocopy":   `misplaced directive //wikisearch:nocopy: applies to type declarations, found on a field`,
+		"//wikisearch:writer":   `misplaced directive //wikisearch:writer: applies to func declarations, found on a type`,
 	}
 	diags := RunAnalyzers(prog, All())
 	lineText := fixtureLines(t, prog)

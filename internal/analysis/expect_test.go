@@ -133,6 +133,7 @@ func TestMmapViewFixture(t *testing.T)     { checkFixture(t, "mmapview") }
 func TestSingleWriterFixture(t *testing.T) { checkFixture(t, "singlewriter") }
 func TestLifecycleFixture(t *testing.T)    { checkFixture(t, "lifecycle") }
 func TestDurabilityFixture(t *testing.T)   { checkFixture(t, "durability") }
+func TestCompactorFixture(t *testing.T)    { checkFixture(t, "compactor") }
 
 // TestAnalyzerNamesUnique guards the registry against copy-paste clashes.
 func TestAnalyzerNamesUnique(t *testing.T) {

@@ -41,3 +41,9 @@ type Holder struct {
 	//wikisearch:nocopy
 	mu int
 }
+
+// StrayWriter puts the single-writer owner directive on a type; the
+// writer role belongs to func declarations (see mutate.go's compactor).
+//
+//wikisearch:writer
+type StrayWriter struct{}

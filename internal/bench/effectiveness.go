@@ -40,10 +40,14 @@ func (e *Env) Repetition(queryID string, k int) ([]RepetitionStats, error) {
 	queryText := strings.Join(p.Keywords, " ")
 
 	var out []RepetitionStats
-	bres, err := e.Eng.SearchBANKS(queryText, k, true, e.Cfg.BanksMaxVisits)
+	bfull, err := e.Eng.Search(context.Background(), wikisearch.Query{
+		Text: queryText, TopK: k, Variant: wikisearch.BANKS,
+		Bidirectional: true, MaxVisits: e.Cfg.BanksMaxVisits,
+	})
 	if err != nil {
 		return nil, err
 	}
+	bres := bfull.Banks
 	bsets := make([][]graph.NodeID, 0, len(bres.Trees))
 	for _, t := range bres.Trees {
 		bsets = append(bsets, t.Nodes)
@@ -148,10 +152,14 @@ func (e *Env) Effectiveness(alphas []float64, ks []int) ([]Table, []PrecisionCel
 		oracle := oracles[qi]
 
 		// BANKS-II answers once at the largest k.
-		bres, err := e.Eng.SearchBANKS(queryText, maxK, true, e.Cfg.BanksMaxVisits)
+		bfull, err := e.Eng.Search(context.Background(), wikisearch.Query{
+			Text: queryText, TopK: maxK, Variant: wikisearch.BANKS,
+			Bidirectional: true, MaxVisits: e.Cfg.BanksMaxVisits,
+		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("bench: BANKS on %s: %w", p.ID, err)
 		}
+		bres := bfull.Banks
 		bsets := make([][]graph.NodeID, 0, len(bres.Trees))
 		for _, tr := range bres.Trees {
 			bsets = append(bsets, tr.Nodes)

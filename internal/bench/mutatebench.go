@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"wikisearch"
+	"wikisearch/internal/graph"
+)
+
+// MutateBenchConfig sizes the live-mutation throughput benchmark: the same
+// closed-loop Zipf query swarm as the batching benchmark is driven through
+// one engine three times — static (no mutator), idle (mutator open, empty
+// delta), and stream (a concurrent writer publishing small batches while
+// the clients search). The static-versus-idle comparison prices the
+// epoch-pinning machinery itself; static-versus-stream prices searching
+// through live overlays plus publish churn.
+type MutateBenchConfig struct {
+	Preset  string  // dataset preset (default "tiny-sim")
+	Clients int     // concurrent closed-loop clients (default 32)
+	Ops     int     // searches measured per side (default 512)
+	Seed    int64   // workload seed (default 1)
+	Skew    float64 // Zipf exponent of the query stream (default 1.4)
+	// BatchOps is the number of mutations the stream writer applies per
+	// publish (default 8); PublishEvery is the pause between publishes
+	// (default 2ms), so the stream side sees a steady epoch turnover
+	// rather than one giant delta.
+	BatchOps     int
+	PublishEvery time.Duration
+	// CompactEvery publishes between compactions on the stream side
+	// (default 8): the clock covers overlay search, publish, and the
+	// occasional full compaction, the complete live-update duty cycle.
+	CompactEvery int
+}
+
+// Defaults fills unset fields.
+func (c MutateBenchConfig) Defaults() MutateBenchConfig {
+	if c.Preset == "" {
+		c.Preset = "tiny-sim"
+	}
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Ops <= 0 {
+		c.Ops = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.4
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 8
+	}
+	if c.PublishEvery <= 0 {
+		c.PublishEvery = 2 * time.Millisecond
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 8
+	}
+	return c
+}
+
+// MutateBenchPoint is one measured side.
+type MutateBenchPoint struct {
+	Mode        string  `json:"mode"` // "static", "idle" or "stream"
+	Ops         int     `json:"ops"`
+	WallMs      float64 `json:"wall_ms"`
+	QPS         float64 `json:"qps"`
+	MutationOps int     `json:"mutation_ops,omitempty"` // stream side: ops applied
+	Publishes   int64   `json:"publishes,omitempty"`    // stream side: epochs published
+	Compactions int64   `json:"compactions,omitempty"`  // stream side: full compactions
+}
+
+// MutateBenchReport is the benchmark outcome, serialized to
+// BENCH_mutate.json by `benchrunner -exp mutate`.
+type MutateBenchReport struct {
+	Config  MutateBenchConfig  `json:"config"`
+	Env     RunEnv             `json:"env"`
+	Queries int                `json:"distinct_queries"`
+	Points  []MutateBenchPoint `json:"points"`
+	// IdlePenaltyPct is how much QPS an open-but-idle mutator costs over
+	// the static engine: (static−idle)/static·100. The epoch pin is two
+	// atomics per search, so this should sit inside run-to-run noise.
+	IdlePenaltyPct float64 `json:"idle_penalty_pct"`
+	// StreamPenaltyPct is the same ratio for the live mutation stream.
+	StreamPenaltyPct float64 `json:"stream_penalty_pct"`
+}
+
+// mutateBenchStream applies small mutation batches and publishes them until
+// stop closes, compacting every CompactEvery-th publish. Mutations are
+// append-heavy (new nodes wired to random existing ones) so the overlay the
+// searchers read through keeps growing between compactions.
+func mutateBenchStream(mut *wikisearch.Mutator, g *graph.Graph, cfg MutateBenchConfig, stop <-chan struct{}) (ops int, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	rel := g.RelName(0)
+	base := g.NumNodes()
+	publishes := 0
+	for n := 0; ; n++ {
+		select {
+		case <-stop:
+			return ops, nil
+		default:
+		}
+		for i := 0; i < cfg.BatchOps; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				id, e := mut.AddNode(fmt.Sprintf("live node %d", ops), "benchmark mutation stream vertex")
+				if e != nil {
+					return ops, e
+				}
+				if e := mut.AddEdge(id, graph.NodeID(rng.Intn(base)), rel); e != nil {
+					return ops, e
+				}
+				ops++ // the paired edge
+			case 1:
+				v := graph.NodeID(rng.Intn(base))
+				if e := mut.SetKeywords(v, g.Label(v), g.Description(v)); e != nil {
+					return ops, e
+				}
+			default:
+				if e := mut.AddEdge(graph.NodeID(rng.Intn(base)), graph.NodeID(rng.Intn(base)), rel); e != nil {
+					return ops, e
+				}
+			}
+			ops++
+		}
+		publishes++
+		if publishes%cfg.CompactEvery == 0 {
+			_, err = mut.Compact()
+		} else {
+			_, err = mut.Publish()
+		}
+		if err != nil {
+			return ops, err
+		}
+		select {
+		case <-stop:
+			return ops, nil
+		case <-time.After(cfg.PublishEvery):
+		}
+	}
+}
+
+// MutateBench measures search throughput against a static engine, an idle
+// mutator, and a live mutation stream on identical workloads.
+func MutateBench(cfg MutateBenchConfig) (*MutateBenchReport, error) {
+	cfg = cfg.Defaults()
+	env, err := NewEnv(Config{Preset: cfg.Preset, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pool := batchBenchWorkload(env.KB, env.Ix, cfg.Seed)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: empty mutate workload")
+	}
+	sched := batchBenchSchedule(cfg.Ops, len(pool), cfg.Skew, cfg.Seed)
+
+	rep := &MutateBenchReport{
+		Config:  cfg,
+		Env:     CaptureEnv(cfg.Preset, env.KB.Graph.NumNodes(), env.KB.Graph.NumEdges()),
+		Queries: len(pool),
+	}
+
+	// Warm the engine (level cache, pooled states) outside the clock.
+	for _, q := range pool[:min(len(pool), 8)] {
+		if _, err := env.Eng.Search(context.Background(), q); err != nil {
+			return nil, err
+		}
+	}
+
+	// Each comparison side runs twice and keeps the faster pass: the
+	// workload is deterministic, so the slower pass only measures machine
+	// interference, not the mutation machinery under test.
+	const passes = 2
+	measure := func(mode string) (MutateBenchPoint, error) {
+		p := MutateBenchPoint{Mode: mode, Ops: cfg.Ops}
+		for pass := 0; pass < passes; pass++ {
+			wall, err := batchBenchDrive(env.Eng, pool, sched, cfg.Clients)
+			if err != nil {
+				return p, err
+			}
+			if ms := float64(wall) / float64(time.Millisecond); p.WallMs == 0 || ms < p.WallMs {
+				p.WallMs = ms
+				p.QPS = float64(cfg.Ops) / wall.Seconds()
+			}
+		}
+		return p, nil
+	}
+
+	static, err := measure("static")
+	if err != nil {
+		return nil, err
+	}
+	rep.Points = append(rep.Points, static)
+
+	// Idle: the mutator is open (auto-compaction off so nothing moves) and
+	// the delta is empty, so every search still takes the epoch-pin path.
+	mut, err := env.Eng.NewMutator(wikisearch.MutatorOptions{CompactAfterOps: -1})
+	if err != nil {
+		return nil, err
+	}
+	idle, err := measure("idle")
+	if err != nil {
+		mut.Close()
+		return nil, err
+	}
+	rep.Points = append(rep.Points, idle)
+
+	// Stream: a single writer publishes small batches while the swarm
+	// searches. One timed pass — the mutation stream makes the two passes
+	// non-identical, so "keep the faster" would just reward a lazy stream.
+	var (
+		stop      = make(chan struct{})
+		streamErr error
+		streamOps int
+		wg        sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		streamOps, streamErr = mutateBenchStream(mut, env.KB.Graph, cfg, stop)
+	}()
+	wall, err := batchBenchDrive(env.Eng, pool, sched, cfg.Clients)
+	close(stop)
+	wg.Wait()
+	if err == nil {
+		err = streamErr
+	}
+	if err != nil {
+		mut.Close()
+		return nil, err
+	}
+	st := mut.Stats()
+	if err := mut.Close(); err != nil {
+		return nil, err
+	}
+	stream := MutateBenchPoint{
+		Mode:        "stream",
+		Ops:         cfg.Ops,
+		WallMs:      float64(wall) / float64(time.Millisecond),
+		QPS:         float64(cfg.Ops) / wall.Seconds(),
+		MutationOps: streamOps,
+		Publishes:   st.Publishes,
+		Compactions: st.Compactions,
+	}
+	rep.Points = append(rep.Points, stream)
+
+	if static.QPS > 0 {
+		rep.IdlePenaltyPct = (static.QPS - idle.QPS) / static.QPS * 100
+		rep.StreamPenaltyPct = (static.QPS - stream.QPS) / static.QPS * 100
+	}
+	return rep, nil
+}
+
+// MutateBenchTable renders the report for benchrunner.
+func MutateBenchTable(r *MutateBenchReport) Table {
+	t := Table{
+		ID: "mutate",
+		Title: fmt.Sprintf("Search throughput under live mutations on %s (%d clients, %d ops/publish, compact every %d)",
+			r.Config.Preset, r.Config.Clients, r.Config.BatchOps, r.Config.CompactEvery),
+		Header: []string{"mode", "QPS", "wall ms", "mutation ops", "publishes", "compactions"},
+	}
+	for _, p := range r.Points {
+		mo, pub, cmp := "-", "-", "-"
+		if p.Mode == "stream" {
+			mo = fmt.Sprintf("%d", p.MutationOps)
+			pub = fmt.Sprintf("%d", p.Publishes)
+			cmp = fmt.Sprintf("%d", p.Compactions)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Mode, fmt.Sprintf("%.0f", p.QPS), fmt.Sprintf("%.1f", p.WallMs), mo, pub, cmp,
+		})
+	}
+	t.Rows = append(t.Rows, []string{"idle penalty", fmt.Sprintf("%.1f%%", r.IdlePenaltyPct), "-", "-", "-", "-"})
+	t.Rows = append(t.Rows, []string{"stream penalty", fmt.Sprintf("%.1f%%", r.StreamPenaltyPct), "-", "-", "-", "-"})
+	return t
+}
+
+// WriteMutateBench serializes the report as indented JSON.
+func WriteMutateBench(path string, r *MutateBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644) //wikisearch:volatile benchmark report, regenerated on every run
+}

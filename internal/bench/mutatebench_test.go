@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMutateBenchTinyShape runs a miniature live-mutation benchmark and
+// pins the report contract: three points in static/idle/stream order, a
+// mutation stream that actually moved (ops and publishes recorded), and
+// penalty percentages derived from the static baseline.
+func TestMutateBenchTinyShape(t *testing.T) {
+	rep, err := MutateBench(MutateBenchConfig{
+		Preset:       "tiny-sim",
+		Clients:      4,
+		Ops:          48,
+		BatchOps:     4,
+		PublishEvery: time.Millisecond,
+		CompactEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(rep.Points))
+	}
+	for i, mode := range []string{"static", "idle", "stream"} {
+		p := rep.Points[i]
+		if p.Mode != mode {
+			t.Fatalf("point %d mode = %q, want %q", i, p.Mode, mode)
+		}
+		if p.QPS <= 0 || p.WallMs <= 0 || p.Ops != 48 {
+			t.Fatalf("%s point not measured: %+v", mode, p)
+		}
+	}
+	stream := rep.Points[2]
+	if stream.MutationOps == 0 || stream.Publishes == 0 {
+		t.Fatalf("mutation stream idle: %+v", stream)
+	}
+	static, idle := rep.Points[0], rep.Points[1]
+	wantIdle := (static.QPS - idle.QPS) / static.QPS * 100
+	if rep.IdlePenaltyPct != wantIdle {
+		t.Fatalf("idle penalty = %v, want %v", rep.IdlePenaltyPct, wantIdle)
+	}
+
+	tbl := MutateBenchTable(rep)
+	text := tbl.String()
+	for _, want := range []string{"static", "idle", "stream", "idle penalty", "stream penalty"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q:\n%s", want, text)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_mutate.json")
+	if err := WriteMutateBench(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MutateBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 3 || back.Points[2].Publishes != stream.Publishes {
+		t.Fatalf("round-trip mismatch: %+v", back.Points)
+	}
+}

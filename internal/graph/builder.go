@@ -144,9 +144,13 @@ func FromParts(outOff []int64, outDst []NodeID, outRel []RelID,
 }
 
 // Parts returns the underlying CSR arrays for serialization. The slices
-// alias internal storage and must not be modified.
+// alias internal storage and must not be modified. A derived overlay view
+// is materialized first so serialization always sees flat CSR arrays.
 func (g *Graph) Parts() (outOff []int64, outDst []NodeID, outRel []RelID,
 	inOff []int64, inSrc []NodeID, inRel []RelID,
 	labels, descs, relNames []string) {
+	if g.ov != nil {
+		g = g.Materialize()
+	}
 	return g.outOff, g.outDst, g.outRel, g.inOff, g.inSrc, g.inRel, g.labels, g.descs, g.relNames
 }

@@ -36,31 +36,90 @@ type Graph struct {
 	labels   []string // node display label (entity name)
 	descs    []string // node description text
 	relNames []string // relationship type names, indexed by RelID
+
+	// ov, when non-nil, makes this Graph a derived live-mutation view: the
+	// overlay's node patches shadow the base arrays above. See overlay.go.
+	// Every accessor below pays exactly one nil check for it.
+	ov *overlay
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.outOff) - 1 }
+func (g *Graph) NumNodes() int {
+	if g.ov != nil {
+		return g.ov.baseN + len(g.ov.added)
+	}
+	return len(g.outOff) - 1
+}
 
 // NumEdges returns the number of stored (directed) edges.
-func (g *Graph) NumEdges() int { return len(g.outDst) }
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return g.ov.edges
+	}
+	return len(g.outDst)
+}
 
 // NumRels returns the number of relationship types.
-func (g *Graph) NumRels() int { return len(g.relNames) }
+func (g *Graph) NumRels() int {
+	if g.ov != nil {
+		return len(g.ov.relNames)
+	}
+	return len(g.relNames)
+}
 
 // Label returns the display label of v.
-func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+func (g *Graph) Label(v NodeID) string {
+	if g.ov != nil {
+		if int(v) >= g.ov.baseN {
+			return g.ov.added[int(v)-g.ov.baseN].label
+		}
+		if p := g.ov.patch[v]; p != nil && p.text {
+			return p.label
+		}
+	}
+	return g.labels[v]
+}
 
 // Description returns the description text of v (may be empty).
-func (g *Graph) Description(v NodeID) string { return g.descs[v] }
+func (g *Graph) Description(v NodeID) string {
+	if g.ov != nil {
+		if int(v) >= g.ov.baseN {
+			return g.ov.added[int(v)-g.ov.baseN].desc
+		}
+		if p := g.ov.patch[v]; p != nil && p.text {
+			return p.desc
+		}
+	}
+	return g.descs[v]
+}
 
 // RelName returns the name of relationship type r.
-func (g *Graph) RelName(r RelID) string { return g.relNames[r] }
+func (g *Graph) RelName(r RelID) string {
+	if g.ov != nil {
+		return g.ov.relNames[r]
+	}
+	return g.relNames[r]
+}
 
 // OutDegree returns the number of out-edges of v.
-func (g *Graph) OutDegree(v NodeID) int { return int(g.outOff[v+1] - g.outOff[v]) }
+func (g *Graph) OutDegree(v NodeID) int {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return len(p.outDst)
+		}
+	}
+	return int(g.outOff[v+1] - g.outOff[v])
+}
 
 // InDegree returns the number of in-edges of v.
-func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+func (g *Graph) InDegree(v NodeID) int {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return len(p.inSrc)
+		}
+	}
+	return int(g.inOff[v+1] - g.inOff[v])
+}
 
 // Degree returns the bi-directed degree of v (out + in).
 func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
@@ -68,6 +127,11 @@ func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
 // OutEdges returns the out-neighbor and relation slices of v. The returned
 // slices alias internal storage and must not be modified.
 func (g *Graph) OutEdges(v NodeID) ([]NodeID, []RelID) {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return p.outDst, p.outRel
+		}
+	}
 	lo, hi := g.outOff[v], g.outOff[v+1]
 	return g.outDst[lo:hi], g.outRel[lo:hi]
 }
@@ -75,6 +139,11 @@ func (g *Graph) OutEdges(v NodeID) ([]NodeID, []RelID) {
 // InEdges returns the in-neighbor (source) and relation slices of v. The
 // returned slices alias internal storage and must not be modified.
 func (g *Graph) InEdges(v NodeID) ([]NodeID, []RelID) {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return p.inSrc, p.inRel
+		}
+	}
 	lo, hi := g.inOff[v], g.inOff[v+1]
 	return g.inSrc[lo:hi], g.inRel[lo:hi]
 }
@@ -83,6 +152,11 @@ func (g *Graph) InEdges(v NodeID) ([]NodeID, []RelID) {
 // the expansion kernel iterates raw CSR adjacency and does not need labels.
 // The returned slice aliases internal storage and must not be modified.
 func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return p.outDst
+		}
+	}
 	return g.outDst[g.outOff[v]:g.outOff[v+1]]
 }
 
@@ -90,6 +164,11 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 // labels. The returned slice aliases internal storage and must not be
 // modified.
 func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			return p.inSrc
+		}
+	}
 	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
 }
 
@@ -112,6 +191,15 @@ func (g *Graph) ForEachNeighbor(v NodeID, fn func(n NodeID, rel RelID, out bool)
 // SIMT-style kernels stride over a node's adjacency by lane index; j must
 // be in [0, Degree(v)).
 func (g *Graph) Neighbor(v NodeID, j int) (NodeID, RelID, bool) {
+	if g.ov != nil {
+		if p := g.ov.adj(v); p != nil {
+			if j < len(p.outDst) {
+				return p.outDst[j], p.outRel[j], true
+			}
+			j -= len(p.outDst)
+			return p.inSrc[j], p.inRel[j], false
+		}
+	}
 	lo, hi := g.outOff[v], g.outOff[v+1]
 	if int64(j) < hi-lo {
 		return g.outDst[lo+int64(j)], g.outRel[lo+int64(j)], true
@@ -130,8 +218,12 @@ func (g *Graph) HasEdge(from, to NodeID) bool {
 }
 
 // Validate checks internal CSR invariants. It is used by tests and by the
-// storage loader to reject corrupt files.
+// storage loader to reject corrupt files. A derived overlay view is
+// materialized first, so the same invariants hold for mutated graphs.
 func (g *Graph) Validate() error {
+	if g.ov != nil {
+		return g.Materialize().Validate()
+	}
 	n := g.NumNodes()
 	if n < 0 {
 		return fmt.Errorf("graph: negative node count")

@@ -9,23 +9,25 @@ import (
 	"wikisearch/internal/trace"
 )
 
-// debugTracesResponse is the GET /v1/debug/traces payload: the most recent
-// traces plus the retained slow ones, newest first.
-type debugTracesResponse struct {
+// debugTracesStats is the stats block of the GET /v1/debug/traces
+// envelope: the most recent traces plus the retained slow ones, newest
+// first.
+type debugTracesStats struct {
 	SlowThresholdMs float64                  `json:"slow_threshold_ms"`
 	Recent          []*wikisearch.QueryTrace `json:"recent"`
 	Slow            []*wikisearch.QueryTrace `json:"slow"`
 }
 
-// handleDebugTraces serves the trace capture rings. Traces are summaries
-// here (events elided); fetch one by id from /v1/debug/trace for the tree.
+// handleDebugTraces serves the trace capture rings in the /v1 envelope.
+// Traces are summaries here (events elided); fetch one by id from
+// /v1/debug/trace for the tree.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
 	tr := s.eng.Traces()
 	if tr == nil {
 		s.v1Error(w, http.StatusNotFound, "unavailable", "tracing is not available on this engine")
 		return
 	}
-	resp := debugTracesResponse{
+	resp := debugTracesStats{
 		SlowThresholdMs: float64(tr.SlowThreshold()) / float64(time.Millisecond),
 		Recent:          tr.Recent(),
 		Slow:            tr.Slow(),
@@ -36,12 +38,12 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
 	if resp.Slow == nil {
 		resp.Slow = []*wikisearch.QueryTrace{}
 	}
-	s.json(w, http.StatusOK, resp)
+	s.json(w, http.StatusOK, v1Envelope{Stats: &resp})
 }
 
-// debugTraceResponse is the GET /v1/debug/trace payload: the trace summary
-// plus its assembled span tree.
-type debugTraceResponse struct {
+// debugTraceStats is the stats block of the GET /v1/debug/trace envelope:
+// the trace summary plus its assembled span tree.
+type debugTraceStats struct {
 	Trace *wikisearch.QueryTrace `json:"trace"`
 	Tree  *wikisearch.TraceSpan  `json:"tree"`
 }
@@ -80,13 +82,15 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("format") == "chrome" {
+		// The Chrome trace_event export is a foreign format by design —
+		// loadable in chrome://tracing — so it skips the envelope.
 		w.Header().Set("Content-Type", "application/json")
 		if err := qt.WriteChrome(w); err != nil {
 			s.log.Printf("server: chrome trace: %v", err)
 		}
 		return
 	}
-	s.json(w, http.StatusOK, debugTraceResponse{Trace: qt, Tree: qt.Tree()})
+	s.json(w, http.StatusOK, v1Envelope{Stats: &debugTraceStats{Trace: qt, Tree: qt.Tree()}})
 }
 
 // observeTrace is installed as the trace collector's observer when the

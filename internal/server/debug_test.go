@@ -34,14 +34,17 @@ func TestDebugTraceEndpoints(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("traces status = %d: %s", w.Code, w.Body)
 	}
-	var list struct {
-		SlowThresholdMs float64                  `json:"slow_threshold_ms"`
-		Recent          []*wikisearch.QueryTrace `json:"recent"`
-		Slow            []*wikisearch.QueryTrace `json:"slow"`
+	var listEnv struct {
+		Stats struct {
+			SlowThresholdMs float64                  `json:"slow_threshold_ms"`
+			Recent          []*wikisearch.QueryTrace `json:"recent"`
+			Slow            []*wikisearch.QueryTrace `json:"slow"`
+		} `json:"stats"`
 	}
-	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+	if err := json.Unmarshal(w.Body.Bytes(), &listEnv); err != nil {
 		t.Fatal(err)
 	}
+	list := listEnv.Stats
 	if list.SlowThresholdMs != 500 { // the server default
 		t.Fatalf("slow_threshold_ms = %v, want 500", list.SlowThresholdMs)
 	}
@@ -58,13 +61,16 @@ func TestDebugTraceEndpoints(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("trace by req status = %d: %s", w.Code, w.Body)
 	}
-	var one struct {
-		Trace *wikisearch.QueryTrace `json:"trace"`
-		Tree  *wikisearch.TraceSpan  `json:"tree"`
+	var oneEnv struct {
+		Stats struct {
+			Trace *wikisearch.QueryTrace `json:"trace"`
+			Tree  *wikisearch.TraceSpan  `json:"tree"`
+		} `json:"stats"`
 	}
-	if err := json.Unmarshal(w.Body.Bytes(), &one); err != nil {
+	if err := json.Unmarshal(w.Body.Bytes(), &oneEnv); err != nil {
 		t.Fatal(err)
 	}
+	one := oneEnv.Stats
 	if one.Trace == nil || one.Tree == nil {
 		t.Fatalf("trace/tree missing: %s", w.Body)
 	}
@@ -131,13 +137,15 @@ func TestDebugTracesDisabled(t *testing.T) {
 		t.Fatalf("traces status = %d", w.Code)
 	}
 	var list struct {
-		Recent []json.RawMessage `json:"recent"`
+		Stats struct {
+			Recent []json.RawMessage `json:"recent"`
+		} `json:"stats"`
 	}
 	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Recent) != 0 {
-		t.Fatalf("tracing off but %d traces collected", len(list.Recent))
+	if len(list.Stats.Recent) != 0 {
+		t.Fatalf("tracing off but %d traces collected", len(list.Stats.Recent))
 	}
 }
 

@@ -44,6 +44,17 @@ type serverMetrics struct {
 	shardImbal    *metrics.Histogram // max/mean shard busy-time ratio per query
 
 	slowQueries *metrics.Counter // searches over the slow-query threshold
+
+	epoch         *metrics.Gauge     // current search epoch id
+	epochPinned   *metrics.Gauge     // searches pinning the current epoch
+	epochsOldLive *metrics.Gauge     // replaced epochs still pinned
+	epochsRetired *metrics.Gauge     // replaced epochs fully drained (cumulative)
+	deltaNodes    *metrics.Gauge     // overlay: nodes added since compaction
+	deltaEdges    *metrics.Gauge     // overlay: net edge delta since compaction
+	deltaTerms    *metrics.Gauge     // keyword overlay: affected index terms
+	publishes     *metrics.Counter   // epoch publications (delta views)
+	compactions   *metrics.Counter   // epoch publications that compacted
+	publishSecs   *metrics.Histogram // snapshot build + install wall time
 }
 
 func newServerMetrics() *serverMetrics {
@@ -107,7 +118,51 @@ func newServerMetrics() *serverMetrics {
 			[]float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10}),
 		slowQueries: r.Counter("wikisearch_slow_queries_total",
 			"Searches whose end-to-end engine time exceeded the slow-query threshold."),
+		epoch: r.Gauge("wikisearch_epoch",
+			"Current search epoch id (advances on every live-mutation publish)."),
+		epochPinned: r.Gauge("wikisearch_epoch_pinned",
+			"In-flight searches pinning the current epoch."),
+		epochsOldLive: r.Gauge("wikisearch_epochs_old_live",
+			"Replaced epochs still held alive by in-flight searches."),
+		epochsRetired: r.Gauge("wikisearch_epochs_retired_total",
+			"Replaced epochs whose last pinned search drained (cumulative)."),
+		deltaNodes: r.Gauge("wikisearch_delta_nodes",
+			"Nodes added by the unmerged mutation delta (0 after compaction)."),
+		deltaEdges: r.Gauge("wikisearch_delta_edges",
+			"Net edge change carried by the unmerged mutation delta (0 after compaction)."),
+		deltaTerms: r.Gauge("wikisearch_delta_terms",
+			"Index terms overridden by the keyword overlay (0 after compaction)."),
+		publishes: r.Counter("wikisearch_publishes_total",
+			"Epoch publications that installed a delta view (Mutator.Publish)."),
+		compactions: r.Counter("wikisearch_compactions_total",
+			"Epoch publications that installed a freshly compacted flat snapshot."),
+		publishSecs: r.Histogram("wikisearch_publish_seconds",
+			"Wall time to build and install one published snapshot.",
+			[]float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}),
 	}
+}
+
+// observeEpoch refreshes the epoch and delta gauges; runs on every
+// /metrics scrape.
+func (m *serverMetrics) observeEpoch(st wikisearch.EpochStats) {
+	m.epoch.Set(int64(st.Epoch))
+	m.epochPinned.Set(st.Pinned)
+	m.epochsOldLive.Set(int64(st.OldLive))
+	m.epochsRetired.Set(st.Retired)
+	m.deltaNodes.Set(int64(st.DeltaNodes))
+	m.deltaEdges.Set(int64(st.DeltaEdges))
+	m.deltaTerms.Set(int64(st.DeltaTerms))
+}
+
+// observePublish records one epoch publication; installed as part of the
+// publish observer when mutation is enabled.
+func (m *serverMetrics) observePublish(info wikisearch.PublishInfo) {
+	if info.Compacted {
+		m.compactions.Inc()
+	} else {
+		m.publishes.Inc()
+	}
+	m.publishSecs.Observe(info.Duration.Seconds())
 }
 
 // observeLoad records how the engine's dump was loaded; called once at

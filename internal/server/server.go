@@ -7,17 +7,22 @@
 //
 // Endpoints:
 //
-//	GET /v1/search?q=<keywords>&k=20&alpha=0.1&lambda=0.2&variant=cpu  versioned JSON envelope
-//	GET /v1/stats                                                      dataset statistics (envelope)
-//	GET /search                                                        legacy answers payload (deprecated)
-//	GET /stats                                                         legacy statistics (deprecated)
-//	GET /metrics                                                       Prometheus text metrics
-//	GET /healthz                                                       liveness
-//	GET /                                                              minimal HTML page
+//	GET  /v1/search?q=<keywords>&k=20&alpha=0.1&lambda=0.2&variant=cpu  versioned JSON envelope
+//	GET  /v1/stats                                                      dataset statistics (envelope)
+//	POST /v1/mutate                                                     live graph mutations (envelope; 409 read_only unless enabled)
+//	GET  /v1/debug/traces                                               trace capture rings (envelope)
+//	GET  /v1/debug/trace?id=N | req=N [&format=chrome]                  one trace's span tree (envelope)
+//	GET  /search                                                        legacy answers payload (deprecated)
+//	GET  /stats                                                         legacy statistics (deprecated)
+//	GET  /metrics                                                       Prometheus text metrics
+//	GET  /healthz                                                       liveness
+//	GET  /                                                              minimal HTML page
 //
 // The /v1 endpoints answer with one stable envelope — {"results": …,
 // "stats": …} on success, {"error": {"code", "message"}} on failure —
 // with consistent status codes: 400 bad_request (malformed parameters),
+// 405 method_not_allowed (wrong method on /v1/mutate), 409 read_only or
+// conflict (mutation rejected by server or graph state),
 // 422 unprocessable (well-formed query the engine cannot answer),
 // 503 overloaded (admission control), 504 timeout (deadline overrun),
 // 500 internal (recovered panic). The unversioned routes predate the
@@ -39,6 +44,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -110,6 +116,51 @@ type Server struct {
 	cache     *resultCache  // nil when disabled
 	sem       chan struct{} // nil when unlimited
 	nextReqID atomic.Uint64
+	// mut is the single-writer mutation handle behind POST /v1/mutate,
+	// opened by EnableMutation before serving; nil keeps the server
+	// read-only (the route answers 409 read_only).
+	mut *wikisearch.Mutator
+	// routes records every registered route for Routes(); docs/api.md is
+	// pinned to it by a golden test.
+	routes []Route
+}
+
+// Route describes one registered HTTP route.
+type Route struct {
+	// Method is the HTTP method, or "*" when the handler accepts any
+	// method and dispatches itself.
+	Method string `json:"method"`
+	// Pattern is the ServeMux path pattern (without the method).
+	Pattern string `json:"pattern"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+}
+
+// Routes returns the server's registered route table, sorted by pattern
+// then method. docs/api.md documents exactly this set; the route-spec
+// golden test fails when they drift apart.
+func (s *Server) Routes() []Route {
+	out := make([]Route, len(s.routes))
+	copy(out, s.routes)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// handle registers one route on the mux and records it for Routes().
+// pattern is a Go 1.22 ServeMux pattern ("GET /v1/search"); a pattern
+// without a method registers for every method (the handler dispatches).
+func (s *Server) handle(pattern string, h http.Handler, doc string) {
+	method, path, found := strings.Cut(pattern, " ")
+	if !found {
+		method, path = "*", pattern
+	}
+	s.routes = append(s.routes, Route{Method: method, Pattern: path, Doc: doc})
+	s.mux.Handle(pattern, h)
 }
 
 // New builds a Server over the engine with default Config.
@@ -153,19 +204,34 @@ func NewWithConfig(eng *wikisearch.Engine, cfg Config) *Server {
 			Observer:   s.met.observeBatch,
 		})
 	}
-	s.mux.Handle("GET /v1/search", s.instrument(http.HandlerFunc(s.handleV1Search), true))
-	s.mux.Handle("GET /v1/stats", s.instrument(http.HandlerFunc(s.handleV1Stats), false))
-	s.mux.Handle("GET /search", s.instrument(http.HandlerFunc(s.handleSearch), true))
-	s.mux.Handle("GET /{$}", s.instrument(http.HandlerFunc(s.handleIndex), true))
-	s.mux.Handle("GET /stats", s.instrument(http.HandlerFunc(s.handleStats), false))
-	s.mux.Handle("GET /metrics", s.instrument(s.met.reg.Handler(), false))
-	s.mux.Handle("GET /v1/debug/traces", s.instrument(http.HandlerFunc(s.handleDebugTraces), false))
-	s.mux.Handle("GET /v1/debug/trace", s.instrument(http.HandlerFunc(s.handleDebugTrace), false))
-	s.mux.Handle("GET /healthz", s.instrument(http.HandlerFunc(
+	s.handle("GET /v1/search", s.instrument(http.HandlerFunc(s.handleV1Search), true),
+		"keyword search, versioned envelope")
+	s.handle("GET /v1/stats", s.instrument(http.HandlerFunc(s.handleV1Stats), false),
+		"dataset, epoch and mutation statistics, versioned envelope")
+	s.handle("GET /search", s.instrument(http.HandlerFunc(s.handleSearch), true),
+		"legacy answers payload (deprecated; use /v1/search)")
+	s.handle("GET /{$}", s.instrument(http.HandlerFunc(s.handleIndex), true),
+		"minimal HTML search page")
+	s.handle("GET /stats", s.instrument(http.HandlerFunc(s.handleStats), false),
+		"legacy statistics payload (deprecated; use /v1/stats)")
+	s.handle("GET /metrics", s.instrument(s.met.reg.Handler(), false),
+		"Prometheus text metrics")
+	s.handle("GET /v1/debug/traces", s.instrument(http.HandlerFunc(s.handleDebugTraces), false),
+		"recent and slow trace capture rings, versioned envelope")
+	s.handle("GET /v1/debug/trace", s.instrument(http.HandlerFunc(s.handleDebugTrace), false),
+		"one trace's span tree by id or request id, versioned envelope")
+	// Method-less on purpose: the handler maps non-POST to an enveloped
+	// 405 instead of the mux's plain-text one.
+	s.handle("/v1/mutate", s.instrument(http.HandlerFunc(s.handleV1Mutate), false),
+		"live graph mutations (POST), versioned envelope")
+	s.handle("GET /healthz", s.instrument(http.HandlerFunc(
 		func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, "ok")
-		}), false))
+		}), false),
+		"liveness probe")
+	// Epoch and delta gauges refresh on every /metrics scrape.
+	s.met.reg.AddScrapeHook(func() { s.met.observeEpoch(eng.EpochStats()) })
 	return s
 }
 
@@ -228,10 +294,35 @@ type StatsResponse struct {
 	LoadFormat  int     `json:"load_format,omitempty"`
 	LoadMode    string  `json:"load_mode,omitempty"`
 	MappedBytes int64   `json:"mapped_bytes,omitempty"`
+	// Epoch is the search epoch currently serving queries; it advances on
+	// every live-mutation publish (1 for an engine that never mutated).
+	Epoch uint64 `json:"epoch"`
+	// Mutation describes the live-mutation subsystem (absent on read-only
+	// servers).
+	Mutation *MutationPayload `json:"mutation,omitempty"`
 	// Sharding describes the sharded runtime's topology and cumulative
 	// serving totals, including the per-shard phase breakdown (absent when
 	// the engine serves solo).
 	Sharding *wikisearch.ShardStats `json:"sharding,omitempty"`
+}
+
+// MutationPayload is the mutation block of the stats payload: delta size
+// and epoch lifecycle gauges for a mutable server.
+type MutationPayload struct {
+	// PendingOps counts applied-but-unpublished ops; DeltaOps everything
+	// since the last compaction.
+	PendingOps int `json:"pending_ops"`
+	DeltaOps   int `json:"delta_ops"`
+	// DeltaNodes/DeltaEdges/DeltaTerms describe the published snapshot's
+	// overlay (all zero right after a compaction).
+	DeltaNodes int `json:"delta_nodes"`
+	DeltaEdges int `json:"delta_edges"`
+	DeltaTerms int `json:"delta_terms"`
+	// Publishes and Compactions count epoch publications by kind;
+	// EpochsRetired counts epochs fully drained and released.
+	Publishes     int64 `json:"publishes"`
+	Compactions   int64 `json:"compactions"`
+	EpochsRetired int64 `json:"epochs_retired"`
 }
 
 // V1Error is the error block of every /v1 envelope. Code is a stable
@@ -476,9 +567,24 @@ func (s *Server) statsResponse() StatsResponse {
 		LoadFormat:  info.Format,
 		LoadMode:    info.Mode,
 		MappedBytes: info.MappedBytes,
+		Epoch:       s.eng.Epoch(),
 	}
 	if st, ok := s.eng.ShardStats(); ok {
 		resp.Sharding = &st
+	}
+	if s.mut != nil {
+		ms := s.mut.Stats()
+		es := s.eng.EpochStats()
+		resp.Mutation = &MutationPayload{
+			PendingOps:    ms.PendingOps,
+			DeltaOps:      ms.Ops,
+			DeltaNodes:    es.DeltaNodes,
+			DeltaEdges:    es.DeltaEdges,
+			DeltaTerms:    es.DeltaTerms,
+			Publishes:     ms.Publishes,
+			Compactions:   ms.Compactions,
+			EpochsRetired: es.Retired,
+		}
 	}
 	return resp
 }

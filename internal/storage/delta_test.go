@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleDelta() *DeltaLog {
+	return &DeltaLog{
+		Name:      "wiki-test",
+		BaseNodes: 100,
+		BaseEdges: 250,
+		Ops: []DeltaOp{
+			{Kind: DeltaAddNode, Label: "new node", Desc: "a description"},
+			{Kind: DeltaAddEdge, From: 3, To: 100, Rel: "linked to"},
+			{Kind: DeltaRemoveEdge, From: 7, To: 9, Rel: "next"},
+			{Kind: DeltaSetText, V: 42, Label: "renamed", Desc: ""},
+			{Kind: DeltaReweight, V: 5, W: 0.75},
+			{Kind: DeltaAddNode, Label: "", Desc: ""},
+		},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	want := sampleDelta()
+	var buf bytes.Buffer
+	if err := SaveDelta(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDeltaFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wsdl")
+	want := sampleDelta()
+	if err := SaveDeltaFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDeltaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestDeltaCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDelta(&buf, sampleDelta()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every single-byte flip must be rejected (CRC or structural check).
+	for _, off := range []int{0, 8, len(raw) / 2, len(raw) - 2} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0xff
+		if _, err := LoadDelta(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at offset %d accepted", off)
+		}
+	}
+	// Truncations too.
+	for _, n := range []int{1, 8, len(raw) - 1} {
+		if _, err := LoadDelta(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDeltaEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDelta(&buf, &DeltaLog{Name: "x", BaseNodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || got.BaseNodes != 1 || len(got.Ops) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDeltaUnknownOpRejected(t *testing.T) {
+	if err := SaveDelta(&bytes.Buffer{}, &DeltaLog{Ops: []DeltaOp{{Kind: 99}}}); err == nil {
+		t.Fatal("unknown op kind saved")
+	}
+}

@@ -1,0 +1,154 @@
+package text
+
+import (
+	"slices"
+
+	"wikisearch/internal/graph"
+)
+
+// Overlay is an immutable patch over a base Index for live graph mutations.
+// It holds fully merged posting lists for exactly the terms whose node sets
+// changed, so a lookup through the overlay is a single map probe with no
+// per-query merging, and terms outside the delta fall through to the base
+// index untouched. An Overlay is built once per epoch publication and never
+// modified afterwards; concurrent readers need no synchronization.
+type Overlay struct {
+	terms     map[string][]graph.NodeID // merged posting per affected term; empty slice = term now matches nothing
+	newTerms  int                       // affected terms absent from the base index
+	emptied   int                       // base terms whose posting became empty
+	postDelta int                       // (term, node) pair count delta vs the base
+	maxLen    int                       // longest merged posting in the overlay
+}
+
+// Postings returns the merged posting list for term if the overlay covers
+// it. ok=false means the term is unaffected and the base index answers.
+func (o *Overlay) Postings(term string) ([]graph.NodeID, bool) {
+	p, ok := o.terms[term]
+	return p, ok
+}
+
+// NumAffected returns how many terms the overlay covers.
+func (o *Overlay) NumAffected() int { return len(o.terms) }
+
+// TermsDelta returns the adjustment to the base vocabulary size: terms the
+// delta introduced minus base terms it emptied.
+func (o *Overlay) TermsDelta() int { return o.newTerms - o.emptied }
+
+// PostingsDelta returns the adjustment to the base (term, node) pair count.
+func (o *Overlay) PostingsDelta() int { return o.postDelta }
+
+// MaxPostingLen returns the longest posting among affected terms. The
+// effective maximum of an overlaid index is max(base, overlay) — a best
+// effort that can overstate when the delta shrank the base's longest list;
+// compaction restores the exact statistic.
+func (o *Overlay) MaxPostingLen() int { return o.maxLen }
+
+// NodeTerms returns the de-duplicated normalized term set of one node's
+// label and description — the unit the index (and its overlays) are built
+// from.
+func NodeTerms(label, desc string) map[string]struct{} {
+	set := make(map[string]struct{}, 8)
+	for _, t := range Normalize(label) {
+		set[t] = struct{}{}
+	}
+	for _, t := range Normalize(desc) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// OverlayBuilder accumulates per-node text changes and derives an Overlay
+// against a base index. It is single-writer, like graph.DeltaBuilder.
+//
+// State is last-write-wins per (term, node): a later NodeRetext of the same
+// node (with the previous call's new text as its old text) overrides the
+// earlier diff, so chained retexts compose to the final-vs-base diff.
+type OverlayBuilder struct {
+	base *Index
+	// state[term][v] records whether v's final text contains term; only
+	// (term, node) pairs whose membership changed in some diff appear here.
+	state map[string]map[graph.NodeID]bool
+}
+
+// NewOverlayBuilder returns an empty builder over base.
+func NewOverlayBuilder(base *Index) *OverlayBuilder {
+	return &OverlayBuilder{
+		base:  base,
+		state: make(map[string]map[graph.NodeID]bool),
+	}
+}
+
+func (b *OverlayBuilder) mark(term string, v graph.NodeID, present bool) {
+	s := b.state[term]
+	if s == nil {
+		s = make(map[graph.NodeID]bool, 4)
+		b.state[term] = s
+	}
+	s[v] = present
+}
+
+// NodeAdded records a node appended past the base graph with the given text.
+func (b *OverlayBuilder) NodeAdded(v graph.NodeID, label, desc string) {
+	for t := range NodeTerms(label, desc) {
+		b.mark(t, v, true)
+	}
+}
+
+// NodeRetext records a base node whose label/description changed. Terms in
+// both old and new text keep their prior state; the rest flip membership.
+func (b *OverlayBuilder) NodeRetext(v graph.NodeID, oldLabel, oldDesc, newLabel, newDesc string) {
+	oldT := NodeTerms(oldLabel, oldDesc)
+	newT := NodeTerms(newLabel, newDesc)
+	for t := range oldT {
+		if _, keep := newT[t]; !keep {
+			b.mark(t, v, false)
+		}
+	}
+	for t := range newT {
+		if _, had := oldT[t]; !had {
+			b.mark(t, v, true)
+		}
+	}
+}
+
+// Empty reports whether no text changes were recorded.
+func (b *OverlayBuilder) Empty() bool { return len(b.state) == 0 }
+
+// Build merges the accumulated changes against the base index into an
+// immutable Overlay. The builder may keep accumulating afterwards; the
+// returned Overlay shares nothing mutable with it.
+func (b *OverlayBuilder) Build() *Overlay {
+	ov := &Overlay{terms: make(map[string][]graph.NodeID, len(b.state))}
+	for t, nodes := range b.state {
+		base := b.base.LookupTerm(t)
+		merged := make([]graph.NodeID, 0, len(base)+len(nodes))
+		for _, v := range base {
+			if present, touched := nodes[v]; touched && !present {
+				continue
+			}
+			merged = append(merged, v)
+		}
+		for v, present := range nodes {
+			if !present {
+				continue
+			}
+			if _, inBase := slices.BinarySearch(base, v); inBase {
+				continue // already kept above
+			}
+			merged = append(merged, v)
+		}
+		slices.Sort(merged)
+		ov.terms[t] = merged
+		if base == nil && len(merged) > 0 {
+			ov.newTerms++
+		}
+		if base != nil && len(merged) == 0 {
+			ov.emptied++
+		}
+		ov.postDelta += len(merged) - len(base)
+		if len(merged) > ov.maxLen {
+			ov.maxLen = len(merged)
+		}
+	}
+	return ov
+}

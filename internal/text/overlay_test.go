@@ -1,0 +1,142 @@
+package text
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"wikisearch/internal/graph"
+)
+
+// buildTextGraph builds a graph with the given node texts and no edges.
+func buildTextGraph(t *testing.T, labels, descs []string) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := range labels {
+		b.AddNode(labels[i], descs[i])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// lookupThrough resolves a term through overlay-then-base, the way the
+// engine's snapshot does.
+func lookupThrough(ix *Index, ov *Overlay, term string) []graph.NodeID {
+	if ov != nil {
+		if p, ok := ov.Postings(term); ok {
+			return p
+		}
+	}
+	return ix.LookupTerm(term)
+}
+
+// TestOverlayMatchesRebuild mutates node text randomly and checks that every
+// term in either vocabulary resolves identically through the overlay and
+// through a fresh index of the final text.
+func TestOverlayMatchesRebuild(t *testing.T) {
+	words := []string{"database", "graph", "keyword", "search", "engine",
+		"parallel", "wiki", "knowledge", "system", "query"}
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			text := func() string {
+				n := 1 + rng.Intn(3)
+				s := ""
+				for i := 0; i < n; i++ {
+					if i > 0 {
+						s += " "
+					}
+					s += words[rng.Intn(len(words))]
+				}
+				return s
+			}
+			n := 6 + rng.Intn(6)
+			labels := make([]string, n)
+			descs := make([]string, n)
+			for i := range labels {
+				labels[i], descs[i] = text(), text()
+			}
+			base := buildTextGraph(t, labels, descs)
+			ix := BuildIndex(base)
+
+			b := NewOverlayBuilder(ix)
+			// Retext some base nodes, append some new ones.
+			for i := 0; i < 4; i++ {
+				v := graph.NodeID(rng.Intn(n))
+				nl, nd := text(), text()
+				b.NodeRetext(v, labels[v], descs[v], nl, nd)
+				labels[v], descs[v] = nl, nd
+			}
+			for i := 0; i < 3; i++ {
+				nl, nd := text(), text()
+				b.NodeAdded(graph.NodeID(len(labels)), nl, nd)
+				labels = append(labels, nl)
+				descs = append(descs, nd)
+			}
+			ov := b.Build()
+			fresh := BuildIndex(buildTextGraph(t, labels, descs))
+
+			vocab := map[string]struct{}{}
+			for _, w := range words {
+				for _, term := range Normalize(w) {
+					vocab[term] = struct{}{}
+				}
+			}
+			for term := range vocab {
+				got := lookupThrough(ix, ov, term)
+				want := fresh.LookupTerm(term)
+				gotC, wantC := slices.Clone(got), slices.Clone(want)
+				if len(gotC) == 0 && len(wantC) == 0 {
+					continue
+				}
+				if !slices.Equal(gotC, wantC) {
+					t.Errorf("term %q: overlay %v, fresh %v", term, gotC, wantC)
+				}
+			}
+			if got, want := ix.NumTerms()+ov.TermsDelta(), fresh.NumTerms(); got != want {
+				t.Errorf("TermsDelta: overlaid vocab %d, fresh %d", got, want)
+			}
+			if got, want := ix.TotalPostings()+ov.PostingsDelta(), fresh.TotalPostings(); got != want {
+				t.Errorf("PostingsDelta: overlaid postings %d, fresh %d", got, want)
+			}
+		})
+	}
+}
+
+// TestOverlayUntouchedTermsFallThrough pins that terms outside the delta are
+// not covered by the overlay (lookups must alias base storage).
+func TestOverlayUntouchedTermsFallThrough(t *testing.T) {
+	g := buildTextGraph(t, []string{"alpha database", "beta graph"}, []string{"", ""})
+	ix := BuildIndex(g)
+	b := NewOverlayBuilder(ix)
+	b.NodeRetext(0, "alpha database", "", "alpha keyword", "")
+	ov := b.Build()
+	if _, covered := ov.Postings(normOne(t, "graph")); covered {
+		t.Error("unaffected term covered by overlay")
+	}
+	if _, covered := ov.Postings(normOne(t, "database")); !covered {
+		t.Error("removed term not covered by overlay")
+	}
+	if _, covered := ov.Postings(normOne(t, "keyword")); !covered {
+		t.Error("added term not covered by overlay")
+	}
+	if _, covered := ov.Postings(normOne(t, "alpha")); covered {
+		t.Error("term present in both old and new text should not be covered")
+	}
+	if ov.TermsDelta() != 0 {
+		t.Errorf("TermsDelta = %d, want 0 (one term added, one emptied)", ov.TermsDelta())
+	}
+}
+
+func normOne(t *testing.T, w string) string {
+	t.Helper()
+	terms := Normalize(w)
+	if len(terms) != 1 {
+		t.Fatalf("Normalize(%q) = %v, want one term", w, terms)
+	}
+	return terms[0]
+}

@@ -24,6 +24,8 @@ type QueryTrace struct {
 	TopK    int      `json:"k"`
 	Alpha   float64  `json:"alpha"`
 	Lambda  float64  `json:"lambda"`
+	// Epoch is the search epoch the query ran against (see Engine.Epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	Start    time.Time     `json:"start"`
 	StartNs  int64         `json:"-"` // trace-clock start (admission for batch members)

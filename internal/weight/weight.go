@@ -11,6 +11,7 @@ package weight
 
 import (
 	"math"
+	"sort"
 
 	"wikisearch/internal/graph"
 	"wikisearch/internal/parallel"
@@ -28,6 +29,7 @@ func Raw(g *graph.Graph, pool *parallel.Pool) []float64 {
 	w := make([]float64, n)
 	pool.ForChunks(n, func(start, end int) {
 		counts := map[graph.RelID]int{}
+		var vals []int
 		for v := start; v < end; v++ {
 			_, rels := g.InEdges(graph.NodeID(v))
 			if len(rels) == 0 {
@@ -37,8 +39,19 @@ func Raw(g *graph.Graph, pool *parallel.Pool) []float64 {
 			for _, r := range rels {
 				counts[r]++
 			}
-			var num float64
+			// Sum the per-relation terms in sorted count order: float
+			// addition is order-sensitive, and map iteration order is not
+			// deterministic, so summing counts directly would let two
+			// preparations of the same graph disagree in the last bit.
+			// Live mutation pins post-compaction answers bit-identical to
+			// a fresh build, which needs bit-identical weights.
+			vals = vals[:0]
 			for _, c := range counts {
+				vals = append(vals, c)
+			}
+			sort.Ints(vals)
+			var num float64
+			for _, c := range vals {
 				num += float64(c) * math.Log2(1+float64(c))
 			}
 			w[v] = num / float64(len(rels))

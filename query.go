@@ -200,50 +200,38 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	return res, err
 }
 
-// SearchContext answers a keyword query under ctx.
-//
-// Deprecated: SearchContext is the pre-v1 name of Search; call Search.
-func (e *Engine) SearchContext(ctx context.Context, q Query) (*Result, error) {
-	return e.Search(ctx, q)
-}
-
-// SearchBackground answers a keyword query detached from any caller
-// context. Request handlers must use Search with r.Context() so deadlines
-// and disconnects propagate.
-//
-// Deprecated: call Search with a context.
-//
-//wikisearch:bgcontext
-func (e *Engine) SearchBackground(q Query) (*Result, error) {
-	return e.Search(context.Background(), q)
-}
-
 func (e *Engine) searchContext(ctx context.Context, q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	// Pin the current epoch for the whole search: one atomic add in, one
+	// out. Everything below reads the pinned snapshot, never the engine's
+	// epoch pointer, so a concurrent publish can never tear the view.
+	ep := e.pinEpoch()
+	defer ep.unpin()
+	sn := ep.snap
 	start := startNow()
 	switch q.Variant {
 	case ExactGST:
-		res, err := e.searchGST(q)
-		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start})
+		res, err := e.searchGST(sn, q)
+		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start, epoch: ep.id})
 		return res, err
 	case BANKS:
-		res, err := e.searchBanks(q)
-		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start})
+		res, err := e.searchBanks(sn, q)
+		e.collectTrace(ctx, q, termsOf(res), res, err, traceMeta{start: start, epoch: ep.id})
 		return res, err
 	}
-	in, terms, err := e.prepare(q.Text)
+	in, terms, err := sn.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
 	if co := e.sharding.Load(); co != nil && shardEligible(q.Variant) {
-		return e.runSharded(ctx, co, q, in, terms, start)
+		return e.runSharded(ctx, co, ep, q, in, terms, start)
 	}
 	if b := e.batcher.Load(); b != nil && b.eligible(q, len(terms)) {
-		return b.do(ctx, q, in, terms, start)
+		return b.do(ctx, ep, q, in, terms, start)
 	}
-	return e.runPrepared(ctx, q, in, terms, start)
+	return e.runPrepared(ctx, ep, q, in, terms, start)
 }
 
 // termsOf extracts a result's normalized terms for trace collection (nil on
@@ -255,10 +243,11 @@ func termsOf(res *Result) []string {
 	return res.Terms
 }
 
-// params resolves q's knobs into core parameters: defaults applied, thread
-// count concretized (Sequential forces one thread). The batcher keys batch
-// compatibility on the resolved values.
-func (e *Engine) params(q Query) core.Params {
+// params resolves q's knobs into core parameters against one snapshot:
+// defaults applied, thread count concretized (Sequential forces one
+// thread). The batcher keys batch compatibility on the resolved values
+// plus the epoch id.
+func (sn *snapshot) params(q Query) core.Params {
 	if q.Threads <= 0 {
 		q.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -266,7 +255,7 @@ func (e *Engine) params(q Query) core.Params {
 		TopK:              q.TopK,
 		Alpha:             q.Alpha,
 		Lambda:            q.Lambda,
-		AvgDist:           e.avgDist,
+		AvgDist:           sn.avgDist,
 		MaxLevel:          q.MaxLevel,
 		Threads:           q.Threads,
 		DisableLevelCover: q.DisableLevelCover,
@@ -279,23 +268,25 @@ func (e *Engine) params(q Query) core.Params {
 
 // runPrepared executes a prepared Central Graph query solo — the path every
 // search took before batching, and the batcher's fallback for batches of
-// one (which threads its coalescing wait through start).
-func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
-	p := e.params(q)
+// one (which threads its coalescing wait through start). The caller holds a
+// pin on ep for the duration.
+func (e *Engine) runPrepared(ctx context.Context, ep *epoch, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
+	sn := ep.snap
+	p := sn.params(q)
 	if ctx != nil && ctx != context.Background() {
 		p.Ctx = ctx
 	}
 	if q.DisableActivation {
-		in.Levels = e.zeroLevels()
+		in.Levels = sn.zeroLevels()
 	} else {
-		in.Levels = e.activationLevels(p.Alpha, p.Threads)
+		in.Levels = sn.activationLevels(p.Alpha, p.Threads, &e.levelComputes)
 	}
 
 	var (
 		res      *core.Result
 		transfer float64
 		err      error
-		m        = traceMeta{start: start, groupCols: len(in.Sources)}
+		m        = traceMeta{start: start, groupCols: len(in.Sources), epoch: ep.id}
 	)
 	switch q.Variant {
 	case CPUPar, Sequential:
@@ -324,14 +315,16 @@ func (e *Engine) runPrepared(ctx context.Context, q Query, in core.Input, terms 
 		e.collectTrace(ctx, q, terms, nil, err, m)
 		return nil, err
 	}
-	out := e.resolve(terms, res, transfer)
+	out := sn.resolve(terms, res, transfer)
 	e.collectTrace(ctx, q, terms, out, nil, m)
 	return out, nil
 }
 
 // prepare resolves the raw query into a core.Input (minus activation
-// levels, which depend on α).
-func (e *Engine) prepare(raw string) (core.Input, []string, error) {
+// levels, which depend on α) against one pinned snapshot. Term lookups go
+// through the delta overlay, so mutated keywords resolve correctly before
+// compaction.
+func (sn *snapshot) prepare(raw string) (core.Input, []string, error) {
 	terms := text.QueryTerms(raw)
 	if len(terms) == 0 {
 		return core.Input{}, nil, fmt.Errorf("wikisearch: query %q has no keywords after normalization", raw)
@@ -341,21 +334,21 @@ func (e *Engine) prepare(raw string) (core.Input, []string, error) {
 	}
 	sources := make([][]graph.NodeID, len(terms))
 	for i, t := range terms {
-		sources[i] = e.ix.LookupTerm(t)
+		sources[i] = sn.lookupTerm(t)
 		if len(sources[i]) == 0 {
 			return core.Input{}, nil, fmt.Errorf("wikisearch: keyword %q matches no nodes", t)
 		}
 	}
 	return core.Input{
-		G:       e.g,
-		Weights: e.weights,
+		G:       sn.g,
+		Weights: sn.weights,
 		Terms:   terms,
 		Sources: sources,
 	}, terms, nil
 }
 
 // resolve converts a core result into the public, text-resolved form.
-func (e *Engine) resolve(terms []string, res *core.Result, transfer float64) *Result {
+func (sn *snapshot) resolve(terms []string, res *core.Result, transfer float64) *Result {
 	out := &Result{
 		Terms:           terms,
 		Depth:           res.DepthD,
@@ -374,7 +367,7 @@ func (e *Engine) resolve(terms []string, res *core.Result, transfer float64) *Re
 	for _, a := range res.Answers {
 		pa := Answer{
 			Central:      a.Central,
-			CentralLabel: e.g.Label(a.Central),
+			CentralLabel: sn.g.Label(a.Central),
 			Depth:        a.Depth,
 			Score:        a.Score,
 			PrunedNodes:  a.PrunedNodes,
@@ -382,9 +375,9 @@ func (e *Engine) resolve(terms []string, res *core.Result, transfer float64) *Re
 		for _, n := range a.Nodes {
 			an := AnswerNode{
 				ID:          n.ID,
-				Label:       e.g.Label(n.ID),
-				Description: e.g.Description(n.ID),
-				Weight:      e.weights[n.ID],
+				Label:       sn.g.Label(n.ID),
+				Description: sn.g.Description(n.ID),
+				Weight:      sn.weights[n.ID],
 				IsCentral:   n.ID == a.Central,
 			}
 			for i, t := range terms {
@@ -406,7 +399,7 @@ func (e *Engine) resolve(terms []string, res *core.Result, transfer float64) *Re
 			pe := AnswerEdge{
 				From:    ed.From,
 				To:      ed.To,
-				Rel:     e.g.RelName(ed.Rel),
+				Rel:     sn.g.RelName(ed.Rel),
 				Forward: ed.Forward,
 			}
 			for i, t := range terms {
@@ -462,8 +455,8 @@ type GSTResult struct {
 // keywords (≤ 12); useful as ground truth and to reproduce the paper's
 // argument that exact GST is not interactive ("this process is rather
 // slow").
-func (e *Engine) searchGST(q Query) (*Result, error) {
-	in, terms, err := e.prepare(q.Text)
+func (e *Engine) searchGST(sn *snapshot, q Query) (*Result, error) {
+	in, terms, err := sn.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
@@ -472,7 +465,7 @@ func (e *Engine) searchGST(q Query) (*Result, error) {
 		topK = 20
 	}
 	start := time.Now()
-	res, err := gst.Search(e.g, e.weights, in.Sources, gst.Options{K: topK, MaxStates: q.MaxStates})
+	res, err := gst.Search(sn.g, sn.weights, in.Sources, gst.Options{K: topK, MaxStates: q.MaxStates})
 	if err != nil {
 		return nil, err
 	}
@@ -480,7 +473,7 @@ func (e *Engine) searchGST(q Query) (*Result, error) {
 	for _, t := range res.Trees {
 		out.Trees = append(out.Trees, GSTTree{
 			Root:      t.Root,
-			RootLabel: e.g.Label(t.Root),
+			RootLabel: sn.g.Label(t.Root),
 			Cost:      t.Cost,
 			Nodes:     t.Nodes,
 			Edges:     t.Edges,
@@ -492,8 +485,8 @@ func (e *Engine) searchGST(q Query) (*Result, error) {
 // searchBanks runs the BANKS variant, a baseline GST-approximation search:
 // BANKS-II when q.Bidirectional is set (the paper's comparison system),
 // BANKS-I otherwise.
-func (e *Engine) searchBanks(q Query) (*Result, error) {
-	in, terms, err := e.prepare(q.Text)
+func (e *Engine) searchBanks(sn *snapshot, q Query) (*Result, error) {
+	in, terms, err := sn.prepare(q.Text)
 	if err != nil {
 		return nil, err
 	}
@@ -505,51 +498,19 @@ func (e *Engine) searchBanks(q Query) (*Result, error) {
 	start := time.Now()
 	var res *banks.Result
 	if q.Bidirectional {
-		res = banks.SearchBANKS2(e.g, e.weights, in.Sources, opts)
+		res = banks.SearchBANKS2(sn.g, sn.weights, in.Sources, opts)
 	} else {
-		res = banks.SearchBANKS1(e.g, e.weights, in.Sources, opts)
+		res = banks.SearchBANKS1(sn.g, sn.weights, in.Sources, opts)
 	}
 	out := &BanksResult{Terms: terms, Visited: res.Visited, Elapsed: time.Since(start)}
 	for _, t := range res.Trees {
 		out.Trees = append(out.Trees, BanksTree{
 			Root:      t.Root,
-			RootLabel: e.g.Label(t.Root),
+			RootLabel: sn.g.Label(t.Root),
 			Score:     t.Score,
 			Nodes:     t.Nodes,
 			Paths:     t.Paths,
 		})
 	}
 	return &Result{Terms: terms, Total: out.Elapsed, Banks: out}, nil
-}
-
-// SearchExactGST solves the query's Group Steiner Tree problem exactly.
-//
-// Deprecated: call Search with Variant ExactGST (TopK, MaxStates in the
-// Query) and read Result.GST.
-//
-//wikisearch:bgcontext
-func (e *Engine) SearchExactGST(raw string, topK, maxStates int) (*GSTResult, error) {
-	res, err := e.Search(context.Background(), Query{
-		Text: raw, TopK: topK, MaxStates: maxStates, Variant: ExactGST,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.GST, nil
-}
-
-// SearchBANKS runs a baseline GST-approximation search.
-//
-// Deprecated: call Search with Variant BANKS (TopK, Bidirectional,
-// MaxVisits in the Query) and read Result.Banks.
-//
-//wikisearch:bgcontext
-func (e *Engine) SearchBANKS(raw string, topK int, bidirectional bool, maxVisits int) (*BanksResult, error) {
-	res, err := e.Search(context.Background(), Query{
-		Text: raw, TopK: topK, Bidirectional: bidirectional, MaxVisits: maxVisits, Variant: BANKS,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Banks, nil
 }

@@ -50,10 +50,14 @@ func (e *Engine) EnableSharding(n int) error {
 		return fmt.Errorf("wikisearch: shard count %d < 1", n)
 	}
 	e.mu.Lock()
+	if e.mut != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("wikisearch: cannot enable sharding while a mutator is open")
+	}
 	co := e.shardCache[n]
 	e.mu.Unlock()
 	if co == nil {
-		top, err := shard.NewTopology(e.g, n)
+		top, err := shard.NewTopology(e.snap().g.Materialize(), n)
 		if err != nil {
 			return err
 		}
@@ -77,16 +81,18 @@ func (e *Engine) SaveSharded(dir string, n int) error {
 	if n < 1 {
 		return fmt.Errorf("wikisearch: shard count %d < 1", n)
 	}
-	part, err := graph.PartitionGraph(e.g, n)
+	sn := e.snap()
+	g := sn.g.Materialize()
+	part, err := graph.PartitionGraph(g, n)
 	if err != nil {
 		return err
 	}
 	d := &storage.Dump{
 		Name:      e.name,
-		Graph:     e.g,
-		Weights:   e.weights,
-		AvgDist:   e.avgDist,
-		Deviation: e.stddev,
+		Graph:     g,
+		Weights:   sn.weights,
+		AvgDist:   sn.avgDist,
+		Deviation: sn.stddev,
 	}
 	_, err = storage.SaveSharded(dir, d, part)
 	return err
@@ -98,11 +104,18 @@ func (e *Engine) SaveSharded(dir string, n int) error {
 // partitioning work. The segments must have been cut from this engine's
 // graph.
 func (e *Engine) EnableShardingFrom(dir string) error {
-	part, dumps, err := storage.LoadSharded(dir, e.g)
+	e.mu.Lock()
+	if e.mut != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("wikisearch: cannot enable sharding while a mutator is open")
+	}
+	e.mu.Unlock()
+	g := e.snap().g.Materialize()
+	part, dumps, err := storage.LoadSharded(dir, g)
 	if err != nil {
 		return err
 	}
-	e.setSharding(shard.NewCoordinator(shard.FromPartition(e.g, part)), dumps)
+	e.setSharding(shard.NewCoordinator(shard.FromPartition(g, part)), dumps)
 	return nil
 }
 
@@ -168,23 +181,24 @@ func (e *Engine) ShardStats() (st ShardStats, ok bool) {
 func shardEligible(v Variant) bool { return v == CPUPar || v == Sequential }
 
 // runSharded executes a prepared query on the sharded runtime.
-func (e *Engine) runSharded(ctx context.Context, co *shard.Coordinator, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
-	p := e.params(q)
+func (e *Engine) runSharded(ctx context.Context, co *shard.Coordinator, ep *epoch, q Query, in core.Input, terms []string, start searchStart) (*Result, error) {
+	sn := ep.snap
+	p := sn.params(q)
 	if ctx != nil && ctx != context.Background() {
 		p.Ctx = ctx
 	}
 	if q.DisableActivation {
-		in.Levels = e.zeroLevels()
+		in.Levels = sn.zeroLevels()
 	} else {
-		in.Levels = e.activationLevels(p.Alpha, p.Threads)
+		in.Levels = sn.activationLevels(p.Alpha, p.Threads, &e.levelComputes)
 	}
 	res, info, events, dropped, err := co.Search(in, p, e.TracingEnabled())
-	m := traceMeta{start: start, groupCols: len(in.Sources), events: events, dropped: dropped, shard: info}
+	m := traceMeta{start: start, epoch: ep.id, groupCols: len(in.Sources), events: events, dropped: dropped, shard: info}
 	if err != nil {
 		e.collectTrace(ctx, q, terms, nil, err, m)
 		return nil, err
 	}
-	out := e.resolve(terms, res, 0)
+	out := sn.resolve(terms, res, 0)
 	out.Shard = &ShardInfo{
 		Shards:    info.Shards,
 		Levels:    info.Levels,

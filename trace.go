@@ -59,6 +59,7 @@ func startNow() searchStart { return searchStart{ns: trace.Now(), t: time.Now()}
 // collectTrace.
 type traceMeta struct {
 	start        searchStart
+	epoch        uint64
 	batched      bool
 	batchQueries int
 	batchColumns int
@@ -76,12 +77,13 @@ func (e *Engine) collectTrace(ctx context.Context, q Query, terms []string, res 
 	if e.tracer == nil || e.traceOff.Load() {
 		return
 	}
-	p := e.params(q)
+	p := e.snap().params(q)
 	qt := &QueryTrace{
 		RequestID: trace.RequestIDFrom(ctx),
 		Query:     q.Text,
 		Terms:     terms,
 		Variant:   q.Variant.String(),
+		Epoch:     m.epoch,
 		TopK:      p.TopK,
 		Alpha:     p.Alpha,
 		Lambda:    p.Lambda,
